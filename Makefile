@@ -1,0 +1,37 @@
+# Artifact-style entry points (mirrors the paper artifact's bash/slurm
+# scripts; see the Appendix of the paper and EXPERIMENTS.md).
+
+GO ?= go
+
+.PHONY: all build test bench figures fig6 fig7 fig8 fig9 fig10 fig11 \
+        table1 overhead examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Reduced-scale benchmark suite: one bench per table/figure + ablations.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Full-scale regeneration of every table and figure (a few minutes).
+figures:
+	$(GO) run ./cmd/sccbench -experiment all | tee bench_results.txt
+
+fig6 fig7 fig8 fig9 fig10 fig11 table1 overhead:
+	$(GO) run ./cmd/sccbench -experiment $@
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/deadcode
+	$(GO) run ./examples/adaptivity
+	$(GO) run ./examples/oscillation
+	$(GO) run ./examples/customworkload
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,110 @@
+package sccsim
+
+// Smoke tests of the public façade — the integration surface a downstream
+// user depends on.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	w, ok := WorkloadByName("xalancbmk")
+	if !ok {
+		t.Fatal("built-in workload missing")
+	}
+	base, err := Run(BaselineConfig(), w, Options{MaxUops: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Run(SCCConfig(LevelFull), w, Options{MaxUops: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Stats.CommittedUops >= base.Stats.CommittedUops {
+		t.Error("SCC did not reduce committed micro-ops through the public API")
+	}
+	if opt.EnergyJ() <= 0 || base.EnergyJ() <= 0 {
+		t.Error("energy reports missing")
+	}
+}
+
+func TestPublicAssembleAndMachine(t *testing.T) {
+	prog, err := Assemble(`
+		movi r1, 20
+		addi r1, r1, 22
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(BaselineConfig(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CommittedUops != 3 {
+		t.Errorf("committed = %d, want 3", st.CommittedUops)
+	}
+	if got := m.Oracle.St.Regs[1]; got != 42 {
+		t.Errorf("r1 = %d, want 42", got)
+	}
+}
+
+func TestPublicAssembleError(t *testing.T) {
+	if _, err := Assemble("bogus r1"); err == nil {
+		t.Error("bad source must error")
+	}
+}
+
+func TestPublicWorkloadRegistry(t *testing.T) {
+	if n := len(Workloads()); n != 19 {
+		t.Errorf("workloads = %d, want 19", n)
+	}
+	if _, ok := WorkloadByName("not-a-workload"); ok {
+		t.Error("unknown name resolved")
+	}
+}
+
+func TestPublicLevelsAndConfigs(t *testing.T) {
+	if BaselineConfig().SCCEnabled {
+		t.Error("baseline must not enable SCC")
+	}
+	if !SCCConfig(LevelFull).SCCEnabled {
+		t.Error("full config must enable SCC")
+	}
+	if SCCConfig(LevelPartitioned).SCCEnabled {
+		t.Error("partitioned level runs without the unit")
+	}
+	c := SCCConfig(LevelFull).WithValuePredictor("h3vp").WithConstWidth(16).WithPartitionSplit(12)
+	if c.ValuePredictor != "h3vp" || c.SCC.ConstWidthBits != 16 || c.UC.OptSets != 12 || c.UC.UnoptSets != 36 {
+		t.Errorf("config builders broken: %+v", c)
+	}
+}
+
+func TestPublicTableWriters(t *testing.T) {
+	var buf bytes.Buffer
+	Table1(&buf)
+	Overheads(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "2.4 GHz") || !strings.Contains(out, "Area overhead") {
+		t.Error("table writers incomplete")
+	}
+}
+
+func TestPublicFigureRunners(t *testing.T) {
+	w, _ := WorkloadByName("exchange2")
+	opts := Options{MaxUops: 10_000, Workloads: []Workload{w}}
+	f6, err := Figure6(opts)
+	if err != nil || len(f6.Names) != 1 {
+		t.Fatalf("Figure6: %v", err)
+	}
+	f8, err := Figure8(opts)
+	if err != nil || len(f8.NormEnergy) != 1 {
+		t.Fatalf("Figure8: %v", err)
+	}
+}

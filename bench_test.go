@@ -1,0 +1,316 @@
+package sccsim
+
+// One benchmark per table and figure of the paper's evaluation (§VII), plus
+// the ablation benches DESIGN.md calls out. Each bench regenerates its
+// artifact on a reduced interval/subset so `go test -bench=.` stays
+// laptop-scale; `cmd/sccbench` runs the full-scale versions. Custom metrics
+// (reduction %, speedup, energy saving) are attached via b.ReportMetric so
+// bench output doubles as a results table.
+
+import (
+	"io"
+	"testing"
+
+	"sccsim/internal/harness"
+	"sccsim/internal/pipeline"
+	"sccsim/internal/stats"
+	"sccsim/internal/workloads"
+)
+
+// benchOpts returns a reduced-scale option set: a class-representative
+// workload subset at a short interval.
+func benchOpts(b *testing.B, names ...string) Options {
+	b.Helper()
+	var ws []workloads.Workload
+	for _, n := range names {
+		w, ok := workloads.ByName(n)
+		if !ok {
+			b.Fatalf("unknown workload %q", n)
+		}
+		ws = append(ws, w)
+	}
+	if ws == nil {
+		ws = workloads.All()
+	}
+	return Options{MaxUops: 25_000, Workloads: ws}
+}
+
+var benchSubset = []string{"xalancbmk", "perlbench", "mcf", "lbm", "exchange2"}
+
+func BenchmarkTable1Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Table1(io.Discard)
+		Overheads(io.Discard)
+	}
+}
+
+func BenchmarkFig6Compaction(b *testing.B) {
+	opts := benchOpts(b, benchSubset...)
+	var f *harness.Fig6
+	var err error
+	for i := 0; i < b.N; i++ {
+		f, err = Figure6(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(f.AvgReduction()*100, "reduction-%")
+	b.ReportMetric(f.AvgSpeedup(), "speedup-x")
+}
+
+func BenchmarkFig7FetchSources(b *testing.B) {
+	opts := benchOpts(b, "xalancbmk", "perlbench", "freqmine")
+	var f *harness.Fig7
+	var err error
+	for i := 0; i < b.N; i++ {
+		f, err = Figure7(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(stats.Mean(f.SCCOpt)*100, "opt-share-%")
+}
+
+func BenchmarkFig8Energy(b *testing.B) {
+	opts := benchOpts(b, benchSubset...)
+	var f *harness.Fig8
+	var err error
+	for i := 0; i < b.N; i++ {
+		f, err = Figure8(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(f.AvgSavings()*100, "energy-saving-%")
+}
+
+func BenchmarkFig9ValuePredictors(b *testing.B) {
+	opts := benchOpts(b, "xalancbmk", "gcc", "freqmine")
+	var f *harness.Fig9
+	var err error
+	for i := 0; i < b.N; i++ {
+		f, err = Figure9(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(stats.Mean(f.Reduction[0])*100, "h3vp-reduction-%")
+	b.ReportMetric(stats.Mean(f.Reduction[1])*100, "eves-reduction-%")
+}
+
+func BenchmarkFig10PartitionSizes(b *testing.B) {
+	opts := benchOpts(b, "xalancbmk", "perlbench", "vips")
+	var f *harness.Fig10
+	var err error
+	for i := 0; i < b.N; i++ {
+		f, err = Figure10(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(f.BestSplit()), "best-opt-sets")
+}
+
+func BenchmarkFig11ConstantWidths(b *testing.B) {
+	opts := benchOpts(b, "xalancbmk", "exchange2", "vips")
+	var f *harness.Fig11
+	var err error
+	for i := 0; i < b.N; i++ {
+		f, err = Figure11(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Figure 11's claim: 16-bit retains most of the 64-bit benefit.
+	b.ReportMetric(stats.Mean(f.Reduction[0])*100, "red-64b-%")
+	b.ReportMetric(stats.Mean(f.Reduction[2])*100, "red-16b-%")
+	b.ReportMetric(stats.Mean(f.Reduction[3])*100, "red-8b-%")
+}
+
+func BenchmarkOverheadModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Overheads(io.Discard)
+	}
+}
+
+// --- single-workload microbenches: simulator throughput per class ---
+
+func benchWorkload(b *testing.B, name string, cfg pipeline.Config) {
+	w, ok := workloads.ByName(name)
+	if !ok {
+		b.Fatalf("unknown workload %q", name)
+	}
+	opts := Options{MaxUops: 25_000}
+	var res *RunResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = Run(cfg, w, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Stats.IPC(), "ipc")
+	b.ReportMetric(res.Stats.DynamicUopReduction()*100, "reduction-%")
+}
+
+func BenchmarkSimBaselineXalancbmk(b *testing.B) { benchWorkload(b, "xalancbmk", BaselineConfig()) }
+func BenchmarkSimSCCXalancbmk(b *testing.B)      { benchWorkload(b, "xalancbmk", SCCConfig(LevelFull)) }
+func BenchmarkSimSCCMcf(b *testing.B)            { benchWorkload(b, "mcf", SCCConfig(LevelFull)) }
+func BenchmarkSimSCCLbm(b *testing.B)            { benchWorkload(b, "lbm", SCCConfig(LevelFull)) }
+
+// --- ablations (design choices DESIGN.md calls out) ---
+
+// BenchmarkAblationHotnessDecay sweeps the optimized-partition hotness
+// decay period around the paper's chosen 3 cycles.
+func BenchmarkAblationHotnessDecay(b *testing.B) {
+	w, _ := workloads.ByName("xalancbmk")
+	for _, decay := range []int{1, 3, 28} {
+		b.Run(name("decay", decay), func(b *testing.B) {
+			cfg := SCCConfig(LevelFull)
+			cfg.UC.OptDecay = decay
+			var res *RunResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = Run(cfg, w, Options{MaxUops: 25_000})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Stats.Cycles), "cycles")
+		})
+	}
+}
+
+// BenchmarkAblationConfidenceThreshold compares the artifact's SCC
+// threshold (5) with the conservative baseline threshold (15).
+func BenchmarkAblationConfidenceThreshold(b *testing.B) {
+	w, _ := workloads.ByName("perlbench")
+	for _, thr := range []int{5, 10, 15} {
+		b.Run(name("conf", thr), func(b *testing.B) {
+			cfg := SCCConfig(LevelFull)
+			cfg.SCC.VPConfThreshold = thr
+			var res *RunResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = Run(cfg, w, Options{MaxUops: 25_000})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Stats.DynamicUopReduction()*100, "reduction-%")
+			b.ReportMetric(float64(res.Stats.InvariantViolations), "violations")
+		})
+	}
+}
+
+// BenchmarkAblationQueueSizes sweeps the compaction request queue depth
+// (§III: 6 entries suffice) and the write-buffer capacity.
+func BenchmarkAblationQueueSizes(b *testing.B) {
+	w, _ := workloads.ByName("xalancbmk")
+	for _, depth := range []int{1, 6, 16} {
+		b.Run(name("reqq", depth), func(b *testing.B) {
+			cfg := SCCConfig(LevelFull)
+			cfg.SCC.RequestQueueDepth = depth
+			var res *RunResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = Run(cfg, w, Options{MaxUops: 25_000})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Stats.DynamicUopReduction()*100, "reduction-%")
+		})
+	}
+	for _, slots := range []int{6, 12, 18} {
+		b.Run(name("wbuf", slots), func(b *testing.B) {
+			cfg := SCCConfig(LevelFull)
+			cfg.SCC.WriteBufferSlots = slots
+			var res *RunResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = Run(cfg, w, Options{MaxUops: 25_000})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Stats.DynamicUopReduction()*100, "reduction-%")
+		})
+	}
+}
+
+// BenchmarkAblationProfitability disables the §V profitability machinery
+// (squash-rate phase-out gate + VP-state match) to quantify its value.
+func BenchmarkAblationProfitability(b *testing.B) {
+	w, _ := workloads.ByName("gcc")
+	for _, gated := range []bool{true, false} {
+		nm := "profitability-on"
+		if !gated {
+			nm = "profitability-off"
+		}
+		b.Run(nm, func(b *testing.B) {
+			cfg := SCCConfig(LevelFull)
+			if !gated {
+				cfg.UC.SquashGate = 0
+			}
+			var res *RunResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = Run(cfg, w, Options{MaxUops: 25_000})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Stats.Cycles), "cycles")
+			b.ReportMetric(res.Stats.SquashOverhead()*100, "squash-%")
+		})
+	}
+}
+
+// BenchmarkExtensionFPFold measures the paper's invited future-work
+// extension (FP compaction) on the FP-dominated kernels the baseline SCC
+// cannot touch.
+func BenchmarkExtensionFPFold(b *testing.B) {
+	for _, wn := range []string{"lbm", "swaptions"} {
+		w, _ := workloads.ByName(wn)
+		for _, ext := range []bool{false, true} {
+			nm := wn + "/paper-config"
+			if ext {
+				nm = wn + "/fp-extension"
+			}
+			b.Run(nm, func(b *testing.B) {
+				cfg := SCCConfig(LevelFull)
+				cfg.SCC.EnableFPFold = ext
+				cfg.SCC.EnableComplexFold = ext
+				var res *RunResult
+				var err error
+				for i := 0; i < b.N; i++ {
+					res, err = Run(cfg, w, Options{MaxUops: 25_000})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(res.Stats.DynamicUopReduction()*100, "reduction-%")
+				b.ReportMetric(float64(res.Stats.Cycles), "cycles")
+			})
+		}
+	}
+}
+
+func name(prefix string, v int) string {
+	return prefix + "-" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,124 @@
+// Command sccbench regenerates the paper's tables and figures.
+//
+//	sccbench -experiment all
+//	sccbench -experiment fig6
+//	sccbench -experiment fig9 -max-uops 60000
+//	sccbench -experiment fig6 -workloads xalancbmk,mcf,lbm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sccsim"
+	"sccsim/internal/workloads"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all",
+			"table1 | fig6 | fig7 | fig8 | fig9 | fig10 | fig11 | overhead | ext | all")
+		maxUops = flag.Uint64("max-uops", 0, "interval length override in micro-ops (0 = workload defaults)")
+		subset  = flag.String("workloads", "", "comma-separated workload subset (default: all 19)")
+	)
+	flag.Parse()
+
+	opts := sccsim.Options{MaxUops: *maxUops}
+	if *subset != "" {
+		for _, name := range strings.Split(*subset, ",") {
+			w, ok := workloads.ByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "sccbench: unknown workload %q\n", name)
+				os.Exit(2)
+			}
+			opts.Workloads = append(opts.Workloads, w)
+		}
+	}
+
+	run := func(name string, fn func() error) {
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "sccbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n[%s completed in %v]\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	experiments := map[string]func() error{
+		"table1": func() error { sccsim.Table1(os.Stdout); return nil },
+		"fig6": func() error {
+			f, err := sccsim.Figure6(opts)
+			if err != nil {
+				return err
+			}
+			f.Write(os.Stdout)
+			return nil
+		},
+		"fig7": func() error {
+			f, err := sccsim.Figure7(opts)
+			if err != nil {
+				return err
+			}
+			f.Write(os.Stdout)
+			return nil
+		},
+		"fig8": func() error {
+			f, err := sccsim.Figure8(opts)
+			if err != nil {
+				return err
+			}
+			f.Write(os.Stdout)
+			return nil
+		},
+		"fig9": func() error {
+			f, err := sccsim.Figure9(opts)
+			if err != nil {
+				return err
+			}
+			f.Write(os.Stdout)
+			return nil
+		},
+		"fig10": func() error {
+			f, err := sccsim.Figure10(opts)
+			if err != nil {
+				return err
+			}
+			f.Write(os.Stdout)
+			return nil
+		},
+		"fig11": func() error {
+			f, err := sccsim.Figure11(opts)
+			if err != nil {
+				return err
+			}
+			f.Write(os.Stdout)
+			return nil
+		},
+		"overhead": func() error { sccsim.Overheads(os.Stdout); return nil },
+		"ext": func() error {
+			f, err := sccsim.Extension(opts)
+			if err != nil {
+				return err
+			}
+			f.Write(os.Stdout)
+			return nil
+		},
+	}
+
+	order := []string{"table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "overhead", "ext"}
+	if *experiment == "all" {
+		for _, name := range order {
+			run(name, experiments[name])
+		}
+		return
+	}
+	fn, ok := experiments[*experiment]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sccbench: unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+	run(*experiment, fn)
+}

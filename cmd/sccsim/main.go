@@ -1,0 +1,125 @@
+// Command sccsim runs one workload under one configuration — the
+// equivalent of the paper artifact's gem5 se.py invocation. Flag names
+// mirror the artifact's options where they exist.
+//
+// Examples:
+//
+//	sccsim -workload xalancbmk                          # baseline
+//	sccsim -workload xalancbmk -enable-superoptimization
+//	sccsim -program my.uxa -enable-superoptimization -lvpred h3vp
+//	sccsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sccsim"
+	"sccsim/internal/asm"
+	"sccsim/internal/harness"
+	"sccsim/internal/scc"
+	"sccsim/internal/stats"
+	"sccsim/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "built-in workload name (see -list)")
+		program  = flag.String("program", "", "path to a UXA assembly file to run instead")
+		list     = flag.Bool("list", false, "list built-in workloads and exit")
+		enable   = flag.Bool("enable-superoptimization", false, "enable SCC (full level)")
+		level    = flag.Int("scc-level", int(scc.LevelFull), "SCC optimization level 0..5 (with -enable-superoptimization)")
+		lvpred   = flag.String("lvpred", "eves", "value predictor: eves | h3vp | lastvalue")
+		confThr  = flag.Int("predictionConfidenceThreshold", 5, "min VP confidence for data invariants")
+		optSets  = flag.Int("specCacheNumSets", 24, "optimized-partition sets (of 48 total)")
+		width    = flag.Int("const-width", 64, "inlined-constant width in bits (8/16/32/64)")
+		maxUops  = flag.Uint64("max-uops", 0, "program-work budget in micro-ops (0 = workload default)")
+		verbose  = flag.Bool("v", false, "print the full counter dump")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range sccsim.Workloads() {
+			fmt.Printf("%-14s %-7s %-16s %s\n", w.Name, w.Suite, w.Class, w.Description)
+		}
+		return
+	}
+
+	cfg := sccsim.BaselineConfig()
+	if *enable {
+		cfg = sccsim.SCCConfig(scc.Level(*level)).
+			WithValuePredictor(*lvpred).
+			WithConstWidth(*width).
+			WithPartitionSplit(*optSets)
+		cfg.SCC.VPConfThreshold = *confThr
+	} else {
+		cfg = cfg.WithValuePredictor(*lvpred)
+	}
+
+	var res *harness.RunResult
+	var err error
+	switch {
+	case *program != "":
+		res, err = runFile(cfg, *program, *maxUops)
+	case *workload != "":
+		w, ok := sccsim.WorkloadByName(*workload)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "sccsim: unknown workload %q (try -list)\n", *workload)
+			os.Exit(2)
+		}
+		res, err = sccsim.Run(cfg, w, sccsim.Options{MaxUops: *maxUops})
+	default:
+		fmt.Fprintln(os.Stderr, "sccsim: need -workload or -program (or -list)")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sccsim: %v\n", err)
+		os.Exit(1)
+	}
+	report(res, *verbose)
+}
+
+func runFile(cfg sccsim.Config, path string, maxUops uint64) (*harness.RunResult, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		return nil, err
+	}
+	if maxUops == 0 {
+		maxUops = 1 << 62
+	}
+	w := workloads.Workload{Name: path, Source: string(src), DefaultMaxUops: maxUops}
+	_ = prog
+	return harness.RunOne(cfg, w, harness.Options{MaxUops: maxUops})
+}
+
+func report(res *harness.RunResult, verbose bool) {
+	st := res.Stats
+	fmt.Printf("workload:            %s\n", res.Workload)
+	fmt.Printf("cycles:              %d\n", st.Cycles)
+	fmt.Printf("committed uops:      %d (IPC %.2f)\n", st.CommittedUops, st.IPC())
+	fmt.Printf("eliminated uops:     %d (%s reduction; move %d / fold %d / branch %d)\n",
+		st.EliminatedUops(), stats.Pct(st.DynamicUopReduction()),
+		st.ElimMove, st.ElimFold, st.ElimBranch)
+	fmt.Printf("fetch mix:           icache %d / unopt %d / opt %d slots\n",
+		st.UopsFromDecode, st.UopsFromUnopt, st.UopsFromOpt)
+	fmt.Printf("branch mispredicts:  %d (%.2f MPKI)\n", st.BranchMispredicts, st.BranchMPKI())
+	fmt.Printf("invariant squashes:  %d (%s of pipeline work)\n",
+		st.InvariantViolations, stats.Pct(st.SquashOverhead()))
+	fmt.Printf("energy:              %.3g J (front-end %.3g, scc %.3g, back-end %.3g, memory %.3g, leakage %.3g)\n",
+		res.Energy.Total(), res.Energy.FrontEnd, res.Energy.SCCUnit,
+		res.Energy.BackEnd, res.Energy.Memory, res.Energy.Leakage)
+	if res.Unit != nil {
+		u := res.Unit
+		fmt.Printf("scc unit:            %d jobs, %d lines committed, %d discarded, %d aborted, busy %d cycles\n",
+			u.Jobs, u.Committed, u.Discarded, u.Aborted, u.BusyCycles)
+	}
+	if verbose {
+		fmt.Printf("\nfull counters: %+v\n", *st)
+		fmt.Printf("cache activity: %+v\n", res.Mem)
+	}
+}

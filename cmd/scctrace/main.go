@@ -1,0 +1,109 @@
+// Command scctrace inspects the SCC unit's compaction decisions on a
+// workload: it runs the simulation, then dumps every compacted line
+// resident in the optimized partition — the transformed micro-ops, the
+// predicted invariants with their confidence counters, the live-outs, and
+// the per-line streaming/squash history — plus a unit-level summary.
+//
+//	scctrace -workload xalancbmk
+//	scctrace -workload gcc -max-uops 50000 -top 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"sccsim"
+	"sccsim/internal/scc"
+	"sccsim/internal/uopcache"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "built-in workload name")
+		maxUops  = flag.Uint64("max-uops", 0, "program-work budget (0 = workload default)")
+		top      = flag.Int("top", 10, "show the N most-streamed compacted lines")
+		level    = flag.Int("scc-level", int(scc.LevelFull), "SCC optimization level 2..5")
+	)
+	flag.Parse()
+	if *workload == "" {
+		fmt.Fprintln(os.Stderr, "scctrace: need -workload (see sccsim -list)")
+		os.Exit(2)
+	}
+	w, ok := sccsim.WorkloadByName(*workload)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "scctrace: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+	cfg := sccsim.SCCConfig(scc.Level(*level))
+	if *maxUops != 0 {
+		cfg.MaxUops = *maxUops
+	} else {
+		cfg.MaxUops = w.DefaultMaxUops
+	}
+	m, err := sccsim.NewMachine(cfg, w.Program())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scctrace:", err)
+		os.Exit(1)
+	}
+	if w.MemInit != nil {
+		w.MemInit(m.Oracle.Mem)
+	}
+	st, err := m.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scctrace:", err)
+		os.Exit(1)
+	}
+
+	u := m.Unit.Stats
+	fmt.Printf("workload %s: %d cycles, %d committed uops, %d eliminated (%.1f%%)\n",
+		w.Name, st.Cycles, st.CommittedUops, st.EliminatedUops(),
+		st.DynamicUopReduction()*100)
+	fmt.Printf("unit: %d requests (%d rejected), %d jobs -> %d committed, %d discarded, %d aborted\n",
+		u.Requests, u.Rejected, u.Jobs, u.Committed, u.Discarded, u.Aborted)
+	fmt.Printf("      %d moves, %d folds, %d branches eliminated; %d operands propagated\n",
+		u.ElimMove, u.ElimFold, u.ElimBranch, u.Propagated)
+	fmt.Printf("      %d data + %d control invariants identified; busy %d cycles\n",
+		u.DataInvariants, u.CtrlInvariants, u.BusyCycles)
+	fmt.Printf("streaming: %d validated streams, %d violations, %d uops squashed\n\n",
+		st.OptStreams, st.InvariantViolations, st.SquashedUops)
+
+	lines := m.UC.Opt.Lines()
+	sort.Slice(lines, func(i, j int) bool {
+		return lines[i].Meta.Streams > lines[j].Meta.Streams
+	})
+	if len(lines) > *top {
+		fmt.Printf("showing the %d most-streamed of %d resident compacted lines\n\n", *top, len(lines))
+		lines = lines[:*top]
+	}
+	for _, l := range lines {
+		dumpLine(l)
+	}
+}
+
+func dumpLine(l *uopcache.Line) {
+	m := l.Meta
+	fmt.Printf("line @ %#x: %d slots (from %d; shrinkage %d), streamed %d times, %d squashes, hot %d\n",
+		l.EntryPC, l.Slots, m.OrigSlots, m.Shrinkage(l.Slots), m.Streams, m.Squashes, l.Hot)
+	fmt.Printf("  eliminated here: %d moves, %d folds, %d branches; %d propagated; resumes at %#x\n",
+		m.ElimMove, m.ElimFold, m.ElimBranch, m.Propagated, m.EndPC)
+	for i := range l.Uops {
+		fmt.Printf("  %2d: %v\n", i, &l.Uops[i])
+	}
+	for _, d := range m.DataInv {
+		fmt.Printf("  data invariant  pc=%#x value=%-12d conf=%d/15\n", d.PC, d.Value, d.Conf)
+	}
+	for _, ci := range m.CtrlInv {
+		fmt.Printf("  ctrl invariant  pc=%#x taken=%-5v target=%#x conf=%d/15\n",
+			ci.PC, ci.Taken, ci.Target, ci.Conf)
+	}
+	if len(m.LiveOuts) > 0 {
+		fmt.Printf("  live-outs:")
+		for _, lo := range m.LiveOuts {
+			fmt.Printf(" %s=%d", lo.Reg, lo.Value)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}

@@ -1,0 +1,125 @@
+package bpred
+
+// ITTAGE-lite: an indirect target predictor with a BTB-like base table and
+// tagged history-indexed tables, following the ITTAGE structure (Seznec).
+// Plain BTBs thrash on indirect branches that oscillate between targets
+// (interpreter dispatch); history-indexed tables disambiguate them.
+
+type ittEntry struct {
+	tag    uint16
+	target uint64
+	conf   int8
+	useful uint8
+}
+
+// ITTAGE predicts indirect branch targets from global path history.
+type ITTAGE struct {
+	base    map[uint64]uint64 // last-target base predictor
+	tables  [][]ittEntry
+	hists   []uint
+	mask    uint64
+	ghist   uint64
+	tick    uint8
+	Lookups uint64
+	Mispred uint64
+}
+
+// NewITTAGE builds the predictor with 2^bits entries per tagged table.
+func NewITTAGE(bits uint) *ITTAGE {
+	it := &ITTAGE{
+		base:  make(map[uint64]uint64),
+		hists: []uint{4, 10, 20},
+		mask:  1<<bits - 1,
+	}
+	for range it.hists {
+		it.tables = append(it.tables, make([]ittEntry, 1<<bits))
+	}
+	return it
+}
+
+func (it *ITTAGE) fold(bits uint) uint64 {
+	h := it.ghist
+	if bits < 64 {
+		h &= 1<<bits - 1
+	}
+	return h ^ h>>13 ^ h>>29
+}
+
+func (it *ITTAGE) index(ti int, pc uint64) (uint64, uint16) {
+	f := it.fold(it.hists[ti])
+	x := pc ^ pc>>7 ^ f*0x9e3779b97f4a7c15
+	return x & it.mask, uint16(x>>49) | 1
+}
+
+// Predict returns the predicted target of the indirect branch at pc, its
+// confidence (0..ConfMax) and whether any component had a basis. Read-only.
+func (it *ITTAGE) Predict(pc uint64) (uint64, int, bool) {
+	for ti := len(it.tables) - 1; ti >= 0; ti-- {
+		i, tag := it.index(ti, pc)
+		e := &it.tables[ti][i]
+		if e.tag == tag && e.conf > 0 {
+			c := int(e.conf) * 4
+			if c > ConfMax {
+				c = ConfMax
+			}
+			return e.target, c, true
+		}
+	}
+	if t, ok := it.base[pc]; ok {
+		return t, 4, true
+	}
+	return 0, 0, false
+}
+
+// Update trains with the resolved target and advances path history.
+func (it *ITTAGE) Update(pc, target uint64) {
+	it.Lookups++
+	pred, _, ok := it.Predict(pc)
+	correct := ok && pred == target
+	if !correct {
+		it.Mispred++
+	}
+	// Train the provider (longest matching table).
+	provider := -1
+	for ti := len(it.tables) - 1; ti >= 0; ti-- {
+		i, tag := it.index(ti, pc)
+		e := &it.tables[ti][i]
+		if e.tag == tag && e.conf > 0 {
+			provider = ti
+			if e.target == target {
+				if e.conf < 3 {
+					e.conf++
+				}
+				if e.useful < 3 {
+					e.useful++
+				}
+			} else {
+				e.conf--
+				if e.conf <= 0 {
+					e.target = target
+					e.conf = 1
+				}
+			}
+			break
+		}
+	}
+	// Allocate a longer-history entry on a miss.
+	if !correct && provider < len(it.tables)-1 {
+		it.tick++
+		for ti := provider + 1; ti < len(it.tables); ti++ {
+			i, tag := it.index(ti, pc)
+			e := &it.tables[ti][i]
+			if e.useful == 0 || it.tick == 0 {
+				*e = ittEntry{tag: tag, target: target, conf: 1}
+				break
+			}
+			e.useful--
+		}
+	}
+	if len(it.base) > 1<<14 {
+		it.base = make(map[uint64]uint64)
+	}
+	it.base[pc] = target
+	// Path history: fold target bits in.
+	it.ghist = it.ghist<<2 ^ (target >> 1)
+}

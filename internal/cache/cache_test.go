@@ -1,0 +1,175 @@
+package cache
+
+import "testing"
+
+func TestLookupMissThenHit(t *testing.T) {
+	c := New(Config{Name: "t", Sets: 4, Ways: 2, LineBytes: 64, Latency: 3, Repl: ReplLRU})
+	if c.Lookup(0x1000) {
+		t.Error("cold cache hit")
+	}
+	c.Fill(0x1000)
+	if !c.Lookup(0x1000) {
+		t.Error("miss after fill")
+	}
+	if !c.Lookup(0x1030) {
+		t.Error("same line (64B) should hit")
+	}
+	if c.Lookup(0x1040) {
+		t.Error("next line should miss")
+	}
+	if c.Stats.Hits != 2 || c.Stats.Misses != 2 {
+		t.Errorf("stats = %+v", c.Stats)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 1 set x 2 ways, 64B lines; three conflicting lines.
+	c := New(Config{Sets: 1, Ways: 2, LineBytes: 64, Repl: ReplLRU})
+	c.Access(0x0000)
+	c.Access(0x1000)
+	c.Access(0x0000) // A most recent
+	c.Access(0x2000) // evicts B
+	if !c.Lookup(0x0000) {
+		t.Error("MRU line evicted")
+	}
+	if c.Lookup(0x1000) {
+		t.Error("LRU line survived")
+	}
+}
+
+func TestRandomReplacementStaysWithinSet(t *testing.T) {
+	c := New(Config{Sets: 2, Ways: 2, LineBytes: 64, Repl: ReplRandom})
+	// Fill set 0 (even line addresses) with conflicting lines.
+	for i := 0; i < 10; i++ {
+		c.Access(uint64(i) << 7) // stride 128 = 2 lines -> same set
+	}
+	// Set 1 must be untouched.
+	if c.Lookup(0x40) {
+		t.Error("random replacement polluted another set")
+	}
+}
+
+func TestAccessFillsOnMiss(t *testing.T) {
+	c := New(Config{Sets: 4, Ways: 2, LineBytes: 64, Repl: ReplLRU})
+	if c.Access(0x1000) {
+		t.Error("first access should miss")
+	}
+	if !c.Access(0x1000) {
+		t.Error("second access should hit")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	var s Stats
+	if s.HitRate() != 0 {
+		t.Error("empty stats hit rate should be 0")
+	}
+	s.Hits, s.Misses = 3, 1
+	if s.HitRate() != 0.75 {
+		t.Errorf("hit rate = %v", s.HitRate())
+	}
+}
+
+func TestDefaultHierarchySizes(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	if cfg.L1I.SizeBytes() != 32*1024 {
+		t.Errorf("L1I = %d bytes", cfg.L1I.SizeBytes())
+	}
+	if cfg.L1D.SizeBytes() != 48*1024 {
+		t.Errorf("L1D = %d bytes", cfg.L1D.SizeBytes())
+	}
+	if cfg.L3.SizeBytes() != 8*1024*1024 {
+		t.Errorf("L3 = %d bytes", cfg.L3.SizeBytes())
+	}
+	if cfg.L3.Repl != ReplRandom {
+		t.Error("L3 must use random replacement (Table I)")
+	}
+}
+
+func TestLoadLatencyLevels(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	addr := uint64(0x4_0000)
+	// Cold: DRAM latency.
+	if lat := h.LoadLatency(addr); lat != h.DRAMLatency {
+		t.Errorf("cold load latency = %d, want %d", lat, h.DRAMLatency)
+	}
+	if h.DRAMAccesses != 1 {
+		t.Errorf("dram accesses = %d", h.DRAMAccesses)
+	}
+	// Warm: L1D latency.
+	if lat := h.LoadLatency(addr); lat != h.L1D.Config().Latency {
+		t.Errorf("warm load latency = %d", lat)
+	}
+}
+
+func TestFetchSideIsSeparateFromDataSide(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	h.LoadLatency(0x1000)
+	// Same address on the instruction side misses L1I but hits L2
+	// (filled by the data-side walk).
+	if lat := h.FetchLatency(0x1000); lat != h.L2.Config().Latency {
+		t.Errorf("fetch after data access latency = %d, want L2 %d", lat, h.L2.Config().Latency)
+	}
+	if h.L1I.Stats.Misses != 1 {
+		t.Errorf("L1I misses = %d", h.L1I.Stats.Misses)
+	}
+}
+
+func TestL2HitAfterL1Eviction(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	base := uint64(0x10000)
+	h.LoadLatency(base)
+	// Evict from tiny L1D (64 sets x 12 ways) by streaming conflicting lines.
+	for i := 1; i <= 13; i++ {
+		h.LoadLatency(base + uint64(i)*64*64)
+	}
+	if lat := h.LoadLatency(base); lat != h.L2.Config().Latency {
+		t.Errorf("latency after L1 eviction = %d, want L2 %d", lat, h.L2.Config().Latency)
+	}
+}
+
+func TestDeterministicRandomRepl(t *testing.T) {
+	run := func() uint64 {
+		h := NewHierarchy(DefaultHierarchyConfig())
+		for i := 0; i < 10000; i++ {
+			h.LoadLatency(uint64(i*229) << 6)
+		}
+		return h.L3.Stats.Hits
+	}
+	if run() != run() {
+		t.Error("random replacement must be deterministic across runs")
+	}
+}
+
+func TestNextLinePrefetcher(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	cfg.NextLinePrefetch = true
+	h := NewHierarchy(cfg)
+	base := NewHierarchy(DefaultHierarchyConfig())
+	// Sequential streaming: the prefetcher should roughly halve misses.
+	for i := 0; i < 4096; i++ {
+		h.LoadLatency(uint64(i) * 64)
+		base.LoadLatency(uint64(i) * 64)
+	}
+	if h.Prefetches == 0 {
+		t.Fatal("prefetcher never fired")
+	}
+	if h.L1D.Stats.Misses*3 > base.L1D.Stats.Misses*2 {
+		t.Errorf("prefetch misses %d vs base %d — little benefit on a stream",
+			h.L1D.Stats.Misses, base.L1D.Stats.Misses)
+	}
+	// Prefetcher stays within the data side.
+	if h.L1I.Stats.Misses != 0 {
+		t.Error("prefetcher polluted the instruction side")
+	}
+}
+
+func TestPrefetcherOffByDefault(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	for i := 0; i < 100; i++ {
+		h.LoadLatency(uint64(i) * 64)
+	}
+	if h.Prefetches != 0 {
+		t.Error("prefetcher fired while disabled")
+	}
+}

@@ -1,0 +1,138 @@
+package emu
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sccsim/internal/asm"
+	"sccsim/internal/isa"
+)
+
+// genRandomProgram emits straight-line code with loads and stores so the
+// undo log has memory effects to record.
+func genRandomProgram(rng *rand.Rand, n int) string {
+	var b strings.Builder
+	b.WriteString("\t.data 0x100000\ntab:\n\t.word 1, 2, 3, 4, 5, 6, 7, 8\n\t.text\nmain:\n\t.entry main\n")
+	b.WriteString("\tmovi r1, 0x100000\n")
+	for i := 0; i < n; i++ {
+		off := rng.Intn(8) * 8
+		switch rng.Intn(4) {
+		case 0:
+			fmt.Fprintf(&b, "\tld   r%d, [r1+%d]\n", 2+rng.Intn(6), off)
+		case 1:
+			fmt.Fprintf(&b, "\tst   [r1+%d], r%d\n", off, 2+rng.Intn(6))
+		case 2:
+			fmt.Fprintf(&b, "\taddi r%d, r%d, %d\n", 2+rng.Intn(6), 2+rng.Intn(6), rng.Intn(100))
+		case 3:
+			fmt.Fprintf(&b, "\tmovi r%d, %d\n", 2+rng.Intn(6), rng.Intn(1000))
+		}
+	}
+	b.WriteString("\thalt\n")
+	return b.String()
+}
+
+// TestUndoRollbackRestoresEverything: after BeginUndo + arbitrary execution
+// + Rollback, registers, PC, memory and counters are exactly as before —
+// the property squash recovery correctness rests on.
+func TestUndoRollbackRestoresEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 100; trial++ {
+		src := genRandomProgram(rng, 5+rng.Intn(15))
+		m := New(asm.MustAssemble(src))
+		// Advance to a random point first.
+		m.Run(uint64(rng.Intn(5)))
+
+		before := m.St
+		beforeUops := m.UopCount
+		memBefore := make([]int64, 8)
+		for i := range memBefore {
+			memBefore[i] = m.Mem.Read64(0x100000 + uint64(i)*8)
+		}
+
+		m.BeginUndo()
+		m.Run(uint64(1 + rng.Intn(20)))
+		m.Rollback()
+
+		if m.St != before {
+			t.Fatalf("trial %d: register state not restored\n%s", trial, src)
+		}
+		if m.UopCount != beforeUops {
+			t.Fatalf("trial %d: uop count %d, want %d", trial, m.UopCount, beforeUops)
+		}
+		for i := range memBefore {
+			if got := m.Mem.Read64(0x100000 + uint64(i)*8); got != memBefore[i] {
+				t.Fatalf("trial %d: mem[%d] = %d, want %d\n%s", trial, i, got, memBefore[i], src)
+			}
+		}
+		// Execution must proceed identically after a rollback.
+		ref := New(asm.MustAssemble(src))
+		ref.Run(beforeUops)
+		m.Run(1 << 20)
+		ref.Run(1 << 20)
+		if m.St != ref.St {
+			t.Fatalf("trial %d: post-rollback execution diverged\n%s", trial, src)
+		}
+	}
+}
+
+// TestUndoCommitKeepsEffects: CommitUndo must retain all effects.
+func TestUndoCommitKeepsEffects(t *testing.T) {
+	src := `
+		.data 0x100000
+	v:	.word 5
+		.text
+	main:
+		.entry main
+		movi r1, 0x100000
+		movi r2, 42
+		st   [r1+0], r2
+		halt
+	`
+	m := New(asm.MustAssemble(src))
+	m.BeginUndo()
+	m.Run(100)
+	m.CommitUndo()
+	if got := m.Mem.Read64(0x100000); got != 42 {
+		t.Errorf("committed store lost: %d", got)
+	}
+	if got := m.St.Get(isa.R2); got != 42 {
+		t.Errorf("committed register lost: %d", got)
+	}
+	// Rollback after commit is a no-op.
+	m.Rollback()
+	if got := m.Mem.Read64(0x100000); got != 42 {
+		t.Error("rollback after commit must not restore")
+	}
+}
+
+// TestUndoRepeatedCycles: undo regions can be opened repeatedly.
+func TestUndoRepeatedCycles(t *testing.T) {
+	src := `
+		.entry main
+	main:
+		movi r1, 1
+	loop:
+		addi r1, r1, 1
+		jmp  loop
+	`
+	m := New(asm.MustAssemble(src))
+	m.Run(1)
+	for i := 0; i < 50; i++ {
+		v := m.St.Get(isa.R1)
+		m.BeginUndo()
+		m.Run(4)
+		if i%2 == 0 {
+			m.Rollback()
+			if m.St.Get(isa.R1) != v {
+				t.Fatalf("cycle %d: rollback failed", i)
+			}
+		} else {
+			m.CommitUndo()
+			if m.St.Get(isa.R1) == v {
+				t.Fatalf("cycle %d: commit lost progress", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Package harness drives the paper's experiments: it runs workloads under
+// configuration sweeps and regenerates every table and figure of the
+// evaluation section (see DESIGN.md's per-experiment index and
+// EXPERIMENTS.md for measured-vs-paper shapes).
+package harness
+
+import (
+	"fmt"
+
+	"sccsim/internal/pipeline"
+	"sccsim/internal/power"
+	"sccsim/internal/scc"
+	"sccsim/internal/workloads"
+)
+
+// RunResult is one (workload, configuration) measurement.
+type RunResult struct {
+	Workload string
+	Stats    *pipeline.Stats
+	Energy   power.Report
+	Mem      power.CacheCounts
+	Unit     *scc.UnitStats // nil for baselines
+}
+
+// EnergyJ returns total energy in joules.
+func (r *RunResult) EnergyJ() float64 { return r.Energy.Total() }
+
+// Options tunes experiment runs.
+type Options struct {
+	// MaxUops overrides every workload's default interval length
+	// (0 keeps the defaults). Benchmarks use small values for speed.
+	MaxUops uint64
+	// Workloads restricts the set (nil = all 19).
+	Workloads []workloads.Workload
+	// EnergyParams overrides the default energy constants.
+	EnergyParams *power.EnergyParams
+}
+
+func (o Options) workloads() []workloads.Workload {
+	if o.Workloads != nil {
+		return o.Workloads
+	}
+	return workloads.All()
+}
+
+func (o Options) maxUops(w workloads.Workload) uint64 {
+	if o.MaxUops > 0 {
+		return o.MaxUops
+	}
+	return w.DefaultMaxUops
+}
+
+func (o Options) energyParams() power.EnergyParams {
+	if o.EnergyParams != nil {
+		return *o.EnergyParams
+	}
+	return power.DefaultParams()
+}
+
+// RunOne executes one workload under one configuration and returns the
+// measurement.
+func RunOne(cfg pipeline.Config, w workloads.Workload, opts Options) (*RunResult, error) {
+	cfg.MaxUops = opts.maxUops(w)
+	m, err := pipeline.New(cfg, w.Program())
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", w.Name, err)
+	}
+	if w.MemInit != nil {
+		w.MemInit(m.Oracle.Mem)
+	}
+	st, err := m.Run()
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", w.Name, err)
+	}
+	mem := power.CacheCounts{
+		L1D:  m.Hier.L1D.Stats.Hits + m.Hier.L1D.Stats.Misses,
+		L2:   m.Hier.L2.Stats.Hits + m.Hier.L2.Stats.Misses,
+		L3:   m.Hier.L3.Stats.Hits + m.Hier.L3.Stats.Misses,
+		DRAM: m.Hier.DRAMAccesses,
+	}
+	res := &RunResult{
+		Workload: w.Name,
+		Stats:    st,
+		Energy:   power.Energy(opts.energyParams(), st, mem),
+		Mem:      mem,
+	}
+	if m.Unit != nil {
+		u := m.Unit.Stats
+		res.Unit = &u
+	}
+	return res, nil
+}
+
+// RunPair executes a workload under the baseline and one SCC configuration.
+func RunPair(sccCfg pipeline.Config, w workloads.Workload, opts Options) (base, withSCC *RunResult, err error) {
+	base, err = RunOne(pipeline.Icelake(), w, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	withSCC, err = RunOne(sccCfg, w, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return base, withSCC, nil
+}

@@ -1,0 +1,123 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"sccsim/internal/emu"
+	"sccsim/internal/pipeline"
+	"sccsim/internal/simpoint"
+	"sccsim/internal/workloads"
+)
+
+// SimPointResult is a SimPoint-style whole-program estimate (§VI's
+// methodology): the program is profiled into basic-block-vector intervals,
+// k representatives are chosen, the pipeline measures each representative,
+// and whole-program metrics are the weighted sums.
+type SimPointResult struct {
+	Points []simpoint.SimPoint
+	// Per-representative measurements, aligned with Points.
+	IntervalCycles []uint64
+	IntervalUops   []uint64
+	// WeightedIPC is the SimPoint estimate; FullIPC is the measured
+	// whole-run value it approximates.
+	WeightedIPC float64
+	FullIPC     float64
+}
+
+// ProfileBBV runs the workload functionally and fingerprints execution
+// intervals by basic-block vector, attributing each micro-op to the macro
+// PC that started its basic block.
+func ProfileBBV(w workloads.Workload, intervalUops uint64, budget uint64) []simpoint.Interval {
+	m := emu.New(w.Program())
+	if w.MemInit != nil {
+		w.MemInit(m.Mem)
+	}
+	prof := simpoint.NewProfile(intervalUops)
+	blockHead := m.PC()
+	for m.UopCount < budget {
+		res, ok := m.StepUop()
+		if !ok {
+			break
+		}
+		prof.Touch(blockHead)
+		if res.U.IsBranchKind() && res.EndsMacro {
+			blockHead = res.Target
+		}
+	}
+	return prof.Intervals()
+}
+
+// SimPointEstimate profiles the workload, selects up to k simpoints, runs
+// the pipeline across interval boundaries (the machine is resumable, so
+// each interval is measured in one pass with full warmup), and returns the
+// weighted whole-program estimate next to the true full-run measurement.
+func SimPointEstimate(cfg pipeline.Config, w workloads.Workload, intervalUops uint64, k int, opts Options) (*SimPointResult, error) {
+	budget := opts.maxUops(w)
+	intervals := ProfileBBV(w, intervalUops, budget)
+	if len(intervals) == 0 {
+		return nil, fmt.Errorf("harness: %s produced no intervals", w.Name)
+	}
+	points := simpoint.Select(intervals, k)
+
+	// One pipeline pass, sampling cumulative (cycles, uops) at every
+	// interval boundary.
+	m, err := pipeline.New(cfg, w.Program())
+	if err != nil {
+		return nil, err
+	}
+	if w.MemInit != nil {
+		w.MemInit(m.Oracle.Mem)
+	}
+	type sample struct{ cycles, uops uint64 }
+	samples := make([]sample, len(intervals)+1)
+	for i := 1; i <= len(intervals); i++ {
+		m.Cfg.MaxUops = uint64(i) * intervalUops
+		st, err := m.Run()
+		if err != nil {
+			return nil, err
+		}
+		samples[i] = sample{cycles: st.Cycles, uops: st.CommittedUops}
+	}
+	full := samples[len(intervals)]
+
+	res := &SimPointResult{Points: points}
+	var weighted float64
+	for _, p := range points {
+		lo, hi := samples[p.Interval], samples[p.Interval+1]
+		cyc := hi.cycles - lo.cycles
+		uops := hi.uops - lo.uops
+		res.IntervalCycles = append(res.IntervalCycles, cyc)
+		res.IntervalUops = append(res.IntervalUops, uops)
+		if cyc > 0 {
+			weighted += p.Weight * (float64(uops) / float64(cyc))
+		}
+	}
+	res.WeightedIPC = weighted
+	if full.cycles > 0 {
+		res.FullIPC = float64(full.uops) / float64(full.cycles)
+	}
+	return res, nil
+}
+
+// blockHeads returns the static basic-block leader PCs of a program
+// (entry, branch targets, fall-throughs after branches) — a diagnostic
+// used by tests to sanity-check BBV coverage.
+func blockHeads(w workloads.Workload) []uint64 {
+	p := w.Program()
+	heads := map[uint64]bool{p.Entry: true}
+	for _, in := range p.Insts {
+		if in.Op.IsBranch() {
+			if in.Target != 0 {
+				heads[in.Target] = true
+			}
+			heads[in.NextAddr()] = true
+		}
+	}
+	var out []uint64
+	for h := range heads {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,552 @@
+// Package isa defines the UXA instruction set architecture: a 64-bit,
+// x86-flavoured synthetic ISA used throughout the simulator.
+//
+// UXA stands in for the proprietary x86 macro-instruction layer the paper's
+// gem5 artifact operates on. It keeps the properties Speculative Code
+// Compaction depends on: variable-length instruction encodings (so 32-byte
+// code regions hold a variable number of macro-ops), condition-code flags,
+// CISC memory-operand forms that crack into multiple micro-ops, and a
+// REP-style string instruction whose micro-ops self-loop.
+package isa
+
+import "fmt"
+
+// Reg names an architectural register. Integer registers are R0..R15,
+// floating-point registers are F0..F15, and two special registers exist:
+// RegCC (the condition-code/flags register) and RegTmp (a microarchitectural
+// temporary used only by cracked micro-ops, never by macro-code).
+type Reg uint8
+
+// Integer register file. By software convention R13 is the base pointer,
+// R14 the link register and R15 the stack pointer, but the hardware treats
+// all sixteen uniformly (no hardwired zero, as on x86).
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	LR // R14: link register
+	SP // R15: stack pointer
+)
+
+// Floating-point register file F0..F15.
+const (
+	F0 Reg = 16 + iota
+	F1
+	F2
+	F3
+	F4
+	F5
+	F6
+	F7
+	F8
+	F9
+	F10
+	F11
+	F12
+	F13
+	F14
+	F15
+)
+
+// Special registers.
+const (
+	// RegCC is the condition-code register written by CMP/CMPI/TEST and
+	// read by conditional branches.
+	RegCC Reg = 32
+	// RegTmp is a micro-architectural temporary visible only to cracked
+	// micro-op sequences (e.g. the load half of a load-op instruction).
+	RegTmp Reg = 33
+	// RegNone marks an absent operand.
+	RegNone Reg = 255
+)
+
+// NumIntRegs and NumFPRegs give the architectural register file sizes.
+const (
+	NumIntRegs = 16
+	NumFPRegs  = 16
+)
+
+// IsInt reports whether r is an integer architectural register (R0..R15).
+func (r Reg) IsInt() bool { return r < 16 }
+
+// IsFP reports whether r is a floating-point register (F0..F15).
+func (r Reg) IsFP() bool { return r >= 16 && r < 32 }
+
+// String returns the assembler name of the register.
+func (r Reg) String() string {
+	switch {
+	case r == SP:
+		return "sp"
+	case r == LR:
+		return "lr"
+	case r.IsInt():
+		return fmt.Sprintf("r%d", int(r))
+	case r.IsFP():
+		return fmt.Sprintf("f%d", int(r)-16)
+	case r == RegCC:
+		return "cc"
+	case r == RegTmp:
+		return "tmp"
+	case r == RegNone:
+		return "-"
+	}
+	return fmt.Sprintf("reg?%d", int(r))
+}
+
+// Op enumerates UXA macro-instruction opcodes.
+type Op uint8
+
+const (
+	OpInvalid Op = iota
+
+	// Integer ALU, register-register: rd = rs1 <op> rs2.
+	OpAdd
+	OpSub
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+
+	// Integer ALU, register-immediate: rd = rs1 <op> imm.
+	OpAddi
+	OpSubi
+	OpAndi
+	OpOri
+	OpXori
+	OpShli
+	OpShri
+
+	// Moves.
+	OpMovi // rd = imm (64-bit immediate)
+	OpMov  // rd = rs1
+
+	// Complex integer ops (not optimizable by the SCC front-end ALU).
+	OpMul
+	OpDiv
+
+	// Flag-setting compares: cc = flags(rs1, rs2) / flags(rs1, imm).
+	OpCmp
+	OpCmpi
+	OpTest // cc = flags(rs1 & rs2, 0)
+
+	// Memory.
+	OpLd   // rd = mem64[rs1 + imm]
+	OpSt   // mem64[rs1 + imm] = rs2
+	OpAddm // rd = rd + mem64[rs1 + imm]  (CISC load-op; cracks to 2 uops)
+
+	// Control flow. Conditional branches read RegCC.
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+	OpBle
+	OpBgt
+	OpJmp
+	OpCall // lr = return address; jump to target
+	OpRet  // jump to lr (indirect)
+	OpJr   // jump to rs1 (indirect)
+
+	// Floating point.
+	OpFadd
+	OpFsub
+	OpFmul
+	OpFdiv
+	OpFmov  // fd = fs1
+	OpFld   // fd = memF64[rs1 + imm]
+	OpFst   // memF64[rs1 + imm] = fs2
+	OpCvtIF // fd = float64(rs1)
+	OpCvtFI // rd = int64(fs1)
+
+	// String op: copies R1 8-byte words from [R2] to [R3], decrementing R1.
+	// Cracks into a self-looping micro-op sequence that SCC must abort on.
+	OpRepmov
+
+	OpNop
+	OpHalt
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	OpInvalid: "invalid",
+	OpAdd:     "add", OpSub: "sub", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpShl: "shl", OpShr: "shr",
+	OpAddi: "addi", OpSubi: "subi", OpAndi: "andi", OpOri: "ori",
+	OpXori: "xori", OpShli: "shli", OpShri: "shri",
+	OpMovi: "movi", OpMov: "mov",
+	OpMul: "mul", OpDiv: "div",
+	OpCmp: "cmp", OpCmpi: "cmpi", OpTest: "test",
+	OpLd: "ld", OpSt: "st", OpAddm: "addm",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge",
+	OpBle: "ble", OpBgt: "bgt",
+	OpJmp: "jmp", OpCall: "call", OpRet: "ret", OpJr: "jr",
+	OpFadd: "fadd", OpFsub: "fsub", OpFmul: "fmul", OpFdiv: "fdiv",
+	OpFmov: "fmov", OpFld: "fld", OpFst: "fst",
+	OpCvtIF: "cvtif", OpCvtFI: "cvtfi",
+	OpRepmov: "repmov",
+	OpNop:    "nop", OpHalt: "halt",
+}
+
+// String returns the assembler mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op?%d", int(o))
+}
+
+// encLen gives the encoded byte length of each opcode. Lengths are chosen so
+// that 32-byte code regions hold a variable mix of macro-ops, as on x86.
+var encLen = [numOps]int{
+	OpInvalid: 1,
+	OpAdd:     3, OpSub: 3, OpAnd: 3, OpOr: 3, OpXor: 3, OpShl: 3, OpShr: 3,
+	OpAddi: 4, OpSubi: 4, OpAndi: 4, OpOri: 4, OpXori: 4, OpShli: 4, OpShri: 4,
+	OpMovi: 6, OpMov: 2,
+	OpMul: 3, OpDiv: 3,
+	OpCmp: 3, OpCmpi: 4, OpTest: 3,
+	OpLd: 4, OpSt: 4, OpAddm: 5,
+	OpBeq: 3, OpBne: 3, OpBlt: 3, OpBge: 3, OpBle: 3, OpBgt: 3,
+	OpJmp: 3, OpCall: 3, OpRet: 1, OpJr: 2,
+	OpFadd: 3, OpFsub: 3, OpFmul: 3, OpFdiv: 3, OpFmov: 2,
+	OpFld: 4, OpFst: 4, OpCvtIF: 3, OpCvtFI: 3,
+	OpRepmov: 3,
+	OpNop:    1, OpHalt: 1,
+}
+
+// EncLen returns the encoded byte length of the opcode.
+func (o Op) EncLen() int {
+	if int(o) < len(encLen) {
+		return encLen[o]
+	}
+	return 1
+}
+
+// IsCondBranch reports whether the opcode is a conditional branch.
+func (o Op) IsCondBranch() bool { return o >= OpBeq && o <= OpBgt }
+
+// IsBranch reports whether the opcode is any control-flow transfer.
+func (o Op) IsBranch() bool { return o >= OpBeq && o <= OpJr }
+
+// IsIndirect reports whether the opcode is an indirect control transfer.
+func (o Op) IsIndirect() bool { return o == OpRet || o == OpJr }
+
+// IsLoad reports whether the opcode reads data memory.
+func (o Op) IsLoad() bool { return o == OpLd || o == OpAddm || o == OpFld }
+
+// IsStore reports whether the opcode writes data memory.
+func (o Op) IsStore() bool { return o == OpSt || o == OpFst || o == OpRepmov }
+
+// IsFP reports whether the opcode is a floating-point operation.
+func (o Op) IsFP() bool { return o >= OpFadd && o <= OpCvtFI }
+
+// IsComplexInt reports whether the opcode is a complex integer operation the
+// SCC front-end ALU refuses to evaluate (multiply and divide, per §III).
+func (o Op) IsComplexInt() bool { return o == OpMul || o == OpDiv }
+
+// IsSimpleALU reports whether the opcode is a simple integer arithmetic,
+// logic or shift operation the SCC front-end ALU can evaluate.
+func (o Op) IsSimpleALU() bool {
+	switch o {
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpAddi, OpSubi, OpAndi, OpOri, OpXori, OpShli, OpShri,
+		OpCmp, OpCmpi, OpTest, OpMov, OpMovi:
+		return true
+	}
+	return false
+}
+
+// Cond enumerates branch conditions evaluated against the CC register.
+type Cond uint8
+
+const (
+	CondNone Cond = iota
+	CondEQ
+	CondNE
+	CondLT
+	CondGE
+	CondLE
+	CondGT
+	CondAlways
+)
+
+// String returns the condition mnemonic suffix.
+func (c Cond) String() string {
+	switch c {
+	case CondEQ:
+		return "eq"
+	case CondNE:
+		return "ne"
+	case CondLT:
+		return "lt"
+	case CondGE:
+		return "ge"
+	case CondLE:
+		return "le"
+	case CondGT:
+		return "gt"
+	case CondAlways:
+		return "al"
+	}
+	return "none"
+}
+
+// BranchCond maps a conditional-branch opcode to its condition.
+func BranchCond(o Op) Cond {
+	switch o {
+	case OpBeq:
+		return CondEQ
+	case OpBne:
+		return CondNE
+	case OpBlt:
+		return CondLT
+	case OpBge:
+		return CondGE
+	case OpBle:
+		return CondLE
+	case OpBgt:
+		return CondGT
+	case OpJmp, OpCall, OpRet, OpJr:
+		return CondAlways
+	}
+	return CondNone
+}
+
+// CC flag bits, stored in the low bits of the RegCC value.
+const (
+	FlagZ int64 = 1 << 0 // zero (equal)
+	FlagN int64 = 1 << 1 // negative (signed less-than)
+)
+
+// Flags computes the CC register value for a comparison of a against b.
+func Flags(a, b int64) int64 {
+	var f int64
+	if a == b {
+		f |= FlagZ
+	}
+	if a < b {
+		f |= FlagN
+	}
+	return f
+}
+
+// CondHolds evaluates a branch condition against a CC register value.
+func CondHolds(c Cond, cc int64) bool {
+	z := cc&FlagZ != 0
+	n := cc&FlagN != 0
+	switch c {
+	case CondEQ:
+		return z
+	case CondNE:
+		return !z
+	case CondLT:
+		return n
+	case CondGE:
+		return !n
+	case CondLE:
+		return n || z
+	case CondGT:
+		return !n && !z
+	case CondAlways:
+		return true
+	}
+	return false
+}
+
+// AluFn enumerates the primitive integer functions shared by the macro ISA,
+// the micro-op IR and the SCC front-end ALU.
+type AluFn uint8
+
+const (
+	FnNone AluFn = iota
+	FnAdd
+	FnSub
+	FnAnd
+	FnOr
+	FnXor
+	FnShl
+	FnShr
+	FnCmp  // produces CC flags
+	FnTest // produces CC flags from a&b vs 0
+	FnMul
+	FnDiv
+	// Conversions between the integer and FP files (used only with
+	// floating-point micro-ops; never evaluated by the SCC ALU).
+	FnCvtIF
+	FnCvtFI
+)
+
+// String returns the function mnemonic.
+func (f AluFn) String() string {
+	switch f {
+	case FnAdd:
+		return "add"
+	case FnSub:
+		return "sub"
+	case FnAnd:
+		return "and"
+	case FnOr:
+		return "or"
+	case FnXor:
+		return "xor"
+	case FnShl:
+		return "shl"
+	case FnShr:
+		return "shr"
+	case FnCmp:
+		return "cmp"
+	case FnTest:
+		return "test"
+	case FnMul:
+		return "mul"
+	case FnDiv:
+		return "div"
+	}
+	return "none"
+}
+
+// IsSimple reports whether the function is in the SCC front-end ALU's
+// restricted repertoire (simple arithmetic, logic, shift; no mul/div).
+func (f AluFn) IsSimple() bool { return f >= FnAdd && f <= FnTest }
+
+// EvalAlu applies an integer ALU function. Shift counts are masked to 63,
+// and divide-by-zero yields zero (the emulator traps it separately).
+func EvalAlu(fn AluFn, a, b int64) int64 {
+	switch fn {
+	case FnAdd:
+		return a + b
+	case FnSub:
+		return a - b
+	case FnAnd:
+		return a & b
+	case FnOr:
+		return a | b
+	case FnXor:
+		return a ^ b
+	case FnShl:
+		return a << (uint64(b) & 63)
+	case FnShr:
+		return int64(uint64(a) >> (uint64(b) & 63))
+	case FnCmp:
+		return Flags(a, b)
+	case FnTest:
+		return Flags(a&b, 0)
+	case FnMul:
+		return a * b
+	case FnDiv:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	}
+	return 0
+}
+
+// AluFnOf maps a macro opcode to its ALU function, or FnNone.
+func AluFnOf(o Op) AluFn {
+	switch o {
+	case OpAdd, OpAddi, OpAddm:
+		return FnAdd
+	case OpSub, OpSubi:
+		return FnSub
+	case OpAnd, OpAndi:
+		return FnAnd
+	case OpOr, OpOri:
+		return FnOr
+	case OpXor, OpXori:
+		return FnXor
+	case OpShl, OpShli:
+		return FnShl
+	case OpShr, OpShri:
+		return FnShr
+	case OpCmp, OpCmpi:
+		return FnCmp
+	case OpTest:
+		return FnTest
+	case OpMul:
+		return FnMul
+	case OpDiv:
+		return FnDiv
+	}
+	return FnNone
+}
+
+// HasImmSrc reports whether the opcode's second source is an immediate.
+func (o Op) HasImmSrc() bool {
+	switch o {
+	case OpAddi, OpSubi, OpAndi, OpOri, OpXori, OpShli, OpShri, OpCmpi, OpMovi:
+		return true
+	}
+	return false
+}
+
+// Inst is one decoded UXA macro-instruction. Addr and Len are filled in by
+// the assembler; Target holds resolved branch-target addresses.
+type Inst struct {
+	Op     Op
+	Rd     Reg   // destination register (RegNone if none)
+	Rs1    Reg   // first source (RegNone if none)
+	Rs2    Reg   // second source (RegNone if none)
+	Imm    int64 // immediate / memory displacement
+	Target uint64
+	Addr   uint64 // code address of this instruction
+	Len    int    // encoded length in bytes
+}
+
+// String renders the instruction in assembler syntax.
+func (in Inst) String() string {
+	o := in.Op
+	switch {
+	case o == OpNop || o == OpHalt || o == OpRet || o == OpRepmov:
+		return o.String()
+	case o == OpMovi:
+		return fmt.Sprintf("%s %s, %d", o, in.Rd, in.Imm)
+	case o == OpMov || o == OpFmov:
+		return fmt.Sprintf("%s %s, %s", o, in.Rd, in.Rs1)
+	case o.IsCondBranch() || o == OpJmp || o == OpCall:
+		return fmt.Sprintf("%s 0x%x", o, in.Target)
+	case o == OpJr:
+		return fmt.Sprintf("%s %s", o, in.Rs1)
+	case o == OpLd || o == OpFld:
+		return fmt.Sprintf("%s %s, [%s+%d]", o, in.Rd, in.Rs1, in.Imm)
+	case o == OpSt || o == OpFst:
+		return fmt.Sprintf("%s [%s+%d], %s", o, in.Rs1, in.Imm, in.Rs2)
+	case o == OpAddm:
+		return fmt.Sprintf("%s %s, [%s+%d]", o, in.Rd, in.Rs1, in.Imm)
+	case o == OpCmp || o == OpTest:
+		return fmt.Sprintf("%s %s, %s", o, in.Rs1, in.Rs2)
+	case o == OpCmpi:
+		return fmt.Sprintf("%s %s, %d", o, in.Rs1, in.Imm)
+	case o.HasImmSrc():
+		return fmt.Sprintf("%s %s, %s, %d", o, in.Rd, in.Rs1, in.Imm)
+	case o == OpCvtIF || o == OpCvtFI:
+		return fmt.Sprintf("%s %s, %s", o, in.Rd, in.Rs1)
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", o, in.Rd, in.Rs1, in.Rs2)
+	}
+}
+
+// NextAddr returns the address of the sequentially following instruction.
+func (in Inst) NextAddr() uint64 { return in.Addr + uint64(in.Len) }
+
+// RegionSize is the native code-region granularity SCC optimizes at:
+// a 32-byte region, roughly 18 fused micro-ops / 3 micro-op cache ways (§III).
+const RegionSize = 32
+
+// RegionStart returns the 32-byte-aligned region base containing addr.
+func RegionStart(addr uint64) uint64 { return addr &^ uint64(RegionSize-1) }
+
+// SameRegion reports whether two addresses share a 32-byte code region
+// (same index and tag bits, the paper's self-modifying-code check scope).
+func SameRegion(a, b uint64) bool { return RegionStart(a) == RegionStart(b) }

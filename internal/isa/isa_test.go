@@ -1,0 +1,253 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegNames(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		want string
+	}{
+		{R0, "r0"}, {R13, "r13"}, {LR, "lr"}, {SP, "sp"},
+		{F0, "f0"}, {F15, "f15"}, {RegCC, "cc"}, {RegTmp, "tmp"}, {RegNone, "-"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("Reg(%d).String() = %q, want %q", c.r, got, c.want)
+		}
+	}
+}
+
+func TestRegClasses(t *testing.T) {
+	if !R5.IsInt() || R5.IsFP() {
+		t.Error("R5 should be int")
+	}
+	if !F5.IsFP() || F5.IsInt() {
+		t.Error("F5 should be fp")
+	}
+	if RegCC.IsInt() || RegCC.IsFP() {
+		t.Error("CC is neither int nor fp file")
+	}
+}
+
+func TestEncLenVariable(t *testing.T) {
+	// The ISA must have variable-length encodings so that 32-byte regions
+	// hold a variable number of macro-ops (an SCC prerequisite).
+	seen := map[int]bool{}
+	for o := Op(1); o < numOps; o++ {
+		l := o.EncLen()
+		if l < 1 || l > 8 {
+			t.Errorf("%v has implausible length %d", o, l)
+		}
+		seen[l] = true
+	}
+	if len(seen) < 3 {
+		t.Errorf("want at least 3 distinct encoding lengths, got %v", seen)
+	}
+}
+
+func TestOpClassPredicates(t *testing.T) {
+	if !OpBeq.IsCondBranch() || !OpBgt.IsCondBranch() || OpJmp.IsCondBranch() {
+		t.Error("cond branch classification wrong")
+	}
+	for _, o := range []Op{OpBeq, OpJmp, OpCall, OpRet, OpJr} {
+		if !o.IsBranch() {
+			t.Errorf("%v should be a branch", o)
+		}
+	}
+	if OpAdd.IsBranch() {
+		t.Error("add is not a branch")
+	}
+	if !OpRet.IsIndirect() || !OpJr.IsIndirect() || OpJmp.IsIndirect() {
+		t.Error("indirect classification wrong")
+	}
+	for _, o := range []Op{OpLd, OpAddm, OpFld} {
+		if !o.IsLoad() {
+			t.Errorf("%v should load", o)
+		}
+	}
+	for _, o := range []Op{OpSt, OpFst, OpRepmov} {
+		if !o.IsStore() {
+			t.Errorf("%v should store", o)
+		}
+	}
+	for _, o := range []Op{OpFadd, OpFdiv, OpCvtIF, OpCvtFI} {
+		if !o.IsFP() {
+			t.Errorf("%v should be FP", o)
+		}
+	}
+	if !OpMul.IsComplexInt() || !OpDiv.IsComplexInt() || OpAdd.IsComplexInt() {
+		t.Error("complex-int classification wrong")
+	}
+	// The SCC ALU repertoire: simple int ALU yes; mul/div/fp/mem no (§III).
+	for _, o := range []Op{OpAdd, OpAddi, OpXor, OpShli, OpCmp, OpMov, OpMovi} {
+		if !o.IsSimpleALU() {
+			t.Errorf("%v should be SCC-optimizable", o)
+		}
+	}
+	for _, o := range []Op{OpMul, OpDiv, OpFadd, OpLd, OpSt, OpBeq} {
+		if o.IsSimpleALU() {
+			t.Errorf("%v must not be SCC-ALU-evaluable", o)
+		}
+	}
+}
+
+func TestFlagsAndConds(t *testing.T) {
+	cases := []struct {
+		a, b int64
+		c    Cond
+		want bool
+	}{
+		{1, 1, CondEQ, true}, {1, 2, CondEQ, false},
+		{1, 2, CondNE, true}, {2, 2, CondNE, false},
+		{1, 2, CondLT, true}, {2, 1, CondLT, false}, {2, 2, CondLT, false},
+		{2, 1, CondGE, true}, {2, 2, CondGE, true}, {1, 2, CondGE, false},
+		{1, 2, CondLE, true}, {2, 2, CondLE, true}, {3, 2, CondLE, false},
+		{3, 2, CondGT, true}, {2, 2, CondGT, false}, {1, 2, CondGT, false},
+		{-5, 3, CondLT, true}, {3, -5, CondGT, true},
+		{0, 0, CondAlways, true},
+	}
+	for _, c := range cases {
+		cc := Flags(c.a, c.b)
+		if got := CondHolds(c.c, cc); got != c.want {
+			t.Errorf("CondHolds(%v, Flags(%d,%d)) = %v, want %v", c.c, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFlagsProperty(t *testing.T) {
+	// Property: exactly one of EQ/LT/GT holds for any pair.
+	f := func(a, b int64) bool {
+		cc := Flags(a, b)
+		n := 0
+		for _, c := range []Cond{CondEQ, CondLT, CondGT} {
+			if CondHolds(c, cc) {
+				n++
+			}
+		}
+		return n == 1 &&
+			CondHolds(CondLE, cc) == (CondHolds(CondLT, cc) || CondHolds(CondEQ, cc)) &&
+			CondHolds(CondGE, cc) == !CondHolds(CondLT, cc) &&
+			CondHolds(CondNE, cc) == !CondHolds(CondEQ, cc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalAlu(t *testing.T) {
+	cases := []struct {
+		fn      AluFn
+		a, b, w int64
+	}{
+		{FnAdd, 3, 4, 7},
+		{FnSub, 3, 4, -1},
+		{FnAnd, 0b1100, 0b1010, 0b1000},
+		{FnOr, 0b1100, 0b1010, 0b1110},
+		{FnXor, 0b1100, 0b1010, 0b0110},
+		{FnShl, 1, 4, 16},
+		{FnShr, -1, 60, 15}, // logical shift right
+		{FnMul, 6, 7, 42},
+		{FnDiv, 42, 6, 7},
+		{FnDiv, 42, 0, 0}, // div-by-zero yields 0
+		{FnShl, 1, 64, 1}, // shift count masked to 63
+	}
+	for _, c := range cases {
+		if got := EvalAlu(c.fn, c.a, c.b); got != c.w {
+			t.Errorf("EvalAlu(%v, %d, %d) = %d, want %d", c.fn, c.a, c.b, got, c.w)
+		}
+	}
+}
+
+func TestEvalAluCmpMatchesFlags(t *testing.T) {
+	f := func(a, b int64) bool {
+		return EvalAlu(FnCmp, a, b) == Flags(a, b) &&
+			EvalAlu(FnTest, a, b) == Flags(a&b, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAluFnOf(t *testing.T) {
+	pairs := map[Op]AluFn{
+		OpAdd: FnAdd, OpAddi: FnAdd, OpAddm: FnAdd,
+		OpSub: FnSub, OpXori: FnXor, OpShl: FnShl, OpShri: FnShr,
+		OpCmp: FnCmp, OpCmpi: FnCmp, OpTest: FnTest,
+		OpMul: FnMul, OpDiv: FnDiv,
+		OpLd: FnNone, OpBeq: FnNone,
+	}
+	for o, want := range pairs {
+		if got := AluFnOf(o); got != want {
+			t.Errorf("AluFnOf(%v) = %v, want %v", o, got, want)
+		}
+	}
+}
+
+func TestSimpleFnRepertoire(t *testing.T) {
+	for _, f := range []AluFn{FnAdd, FnSub, FnAnd, FnOr, FnXor, FnShl, FnShr, FnCmp, FnTest} {
+		if !f.IsSimple() {
+			t.Errorf("%v should be simple", f)
+		}
+	}
+	for _, f := range []AluFn{FnMul, FnDiv, FnCvtIF, FnCvtFI, FnNone} {
+		if f.IsSimple() {
+			t.Errorf("%v must not be in the SCC ALU repertoire", f)
+		}
+	}
+}
+
+func TestBranchCond(t *testing.T) {
+	want := map[Op]Cond{
+		OpBeq: CondEQ, OpBne: CondNE, OpBlt: CondLT,
+		OpBge: CondGE, OpBle: CondLE, OpBgt: CondGT,
+		OpJmp: CondAlways, OpRet: CondAlways, OpAdd: CondNone,
+	}
+	for o, c := range want {
+		if got := BranchCond(o); got != c {
+			t.Errorf("BranchCond(%v) = %v, want %v", o, got, c)
+		}
+	}
+}
+
+func TestRegions(t *testing.T) {
+	if RegionStart(0x1037) != 0x1020 {
+		t.Errorf("RegionStart(0x1037) = %#x", RegionStart(0x1037))
+	}
+	if !SameRegion(0x1020, 0x103f) {
+		t.Error("0x1020 and 0x103f share a region")
+	}
+	if SameRegion(0x101f, 0x1020) {
+		t.Error("0x101f and 0x1020 are in different regions")
+	}
+	f := func(a uint64) bool {
+		s := RegionStart(a)
+		return s%RegionSize == 0 && s <= a && a-s < RegionSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpMovi, Rd: R1, Imm: 42}, "movi r1, 42"},
+		{Inst{Op: OpAdd, Rd: R1, Rs1: R2, Rs2: R3}, "add r1, r2, r3"},
+		{Inst{Op: OpAddi, Rd: R1, Rs1: R2, Imm: -3}, "addi r1, r2, -3"},
+		{Inst{Op: OpLd, Rd: R1, Rs1: R2, Imm: 8}, "ld r1, [r2+8]"},
+		{Inst{Op: OpSt, Rs1: R2, Rs2: R4, Imm: 0}, "st [r2+0], r4"},
+		{Inst{Op: OpBeq, Target: 0x1000}, "beq 0x1000"},
+		{Inst{Op: OpCmpi, Rs1: R9, Imm: 7}, "cmpi r9, 7"},
+		{Inst{Op: OpHalt}, "halt"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,323 @@
+package pipeline
+
+import (
+	"container/heap"
+
+	"sccsim/internal/cache"
+	"sccsim/internal/isa"
+	"sccsim/internal/uop"
+)
+
+// cycleHeap is a min-heap of cycle numbers, used to track IQ and LSQ
+// occupancy (entries leave the structure when their cycle passes).
+type cycleHeap []uint64
+
+func (h cycleHeap) Len() int            { return len(h) }
+func (h cycleHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h cycleHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *cycleHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
+func (h *cycleHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func (h *cycleHeap) drain(now uint64) {
+	for h.Len() > 0 && (*h)[0] <= now {
+		heap.Pop(h)
+	}
+}
+
+// fuPool models n identical functional units as per-cycle issue capacity.
+// Units are claimed at the operation's issue cycle, not at dispatch — a
+// micro-op whose operands become ready far in the future must not reserve
+// a unit in the meantime (real schedulers bind units at wakeup/select).
+// The ring records issues per future cycle, tagged by cycle number so
+// stale slots self-reset.
+type fuPool struct {
+	units     int
+	latency   int
+	pipelined bool
+	count     []uint16
+	tag       []uint64
+	mask      uint64
+}
+
+// fuRingBits bounds scheduling lookahead; in-flight completion times stay
+// within the ROB-drain horizon, far below this window.
+const fuRingBits = 18
+
+func newFUPool(n, latency int, pipelined bool) *fuPool {
+	return &fuPool{
+		units:     n,
+		latency:   latency,
+		pipelined: pipelined,
+		count:     make([]uint16, 1<<fuRingBits),
+		tag:       make([]uint64, 1<<fuRingBits),
+		mask:      1<<fuRingBits - 1,
+	}
+}
+
+// slot returns the issue count for a cycle, resetting stale entries.
+func (p *fuPool) slot(c uint64) *uint16 {
+	i := c & p.mask
+	if p.tag[i] != c {
+		p.tag[i] = c
+		p.count[i] = 0
+	}
+	return &p.count[i]
+}
+
+// claim finds the first cycle >= ready with a free unit and claims it.
+func (p *fuPool) claim(ready uint64) uint64 {
+	c := ready
+	for {
+		s := p.slot(c)
+		if int(*s) < p.units {
+			*s++
+			return c
+		}
+		c++
+	}
+}
+
+// issue schedules an operation that is ready at `ready`, returning its
+// start and completion cycles.
+func (p *fuPool) issue(ready uint64) (start, complete uint64) {
+	start = p.claim(ready)
+	complete = start + uint64(p.latency)
+	if !p.pipelined {
+		// Occupy the unit for the full latency (unpipelined divide).
+		for c := start + 1; c < complete; c++ {
+			s := p.slot(c)
+			if int(*s) < p.units {
+				*s = uint16(p.units)
+			}
+		}
+	}
+	return start, complete
+}
+
+// issueLatency schedules with a per-op latency (memory ops; ports are
+// pipelined).
+func (p *fuPool) issueLatency(ready uint64, lat int) (start, complete uint64) {
+	start = p.claim(ready)
+	return start, start + uint64(lat)
+}
+
+// robEntry tracks one in-flight micro-op until in-order commit.
+type robEntry struct {
+	complete uint64
+	doomed   bool // squash-bound uop from a violated compacted stream
+	slot     bool // first uop of its fused slot
+	macroEnd bool // last uop of its macro-op
+}
+
+// backend is the out-of-order execution engine model.
+type backend struct {
+	cfg  *Config
+	hier *cache.Hierarchy
+
+	regReady [34]uint64
+
+	rob     []robEntry
+	robHead int
+
+	iq  cycleHeap
+	lsq cycleHeap
+
+	intALU *fuPool
+	mulFU  *fuPool
+	divFU  *fuPool
+	fpFU   *fuPool
+	mem    *fuPool
+
+	// storeReady maps an 8-byte-aligned address to the cycle its most
+	// recent store's data is forwardable.
+	storeReady map[uint64]uint64
+}
+
+func newBackend(cfg *Config, hier *cache.Hierarchy) *backend {
+	return &backend{
+		cfg:        cfg,
+		hier:       hier,
+		intALU:     newFUPool(cfg.IntALUs, cfg.IntLatency, true),
+		mulFU:      newFUPool(cfg.MulUnits, cfg.MulLatency, true),
+		divFU:      newFUPool(cfg.DivUnits, cfg.DivLatency, false),
+		fpFU:       newFUPool(cfg.FPUnits, cfg.FPLatency, true),
+		mem:        newFUPool(cfg.MemPorts, 0, true),
+		storeReady: make(map[uint64]uint64),
+	}
+}
+
+// robLen returns current ROB occupancy.
+func (b *backend) robLen() int { return len(b.rob) - b.robHead }
+
+// canDispatch reports whether the back end has room for one more uop.
+func (b *backend) canDispatch(now uint64, isMem bool) bool {
+	b.iq.drain(now)
+	b.lsq.drain(now)
+	if b.robLen() >= b.cfg.ROBSize {
+		return false
+	}
+	if b.iq.Len() >= b.cfg.IQSize {
+		return false
+	}
+	if isMem && b.lsq.Len() >= b.cfg.LSQSize {
+		return false
+	}
+	return true
+}
+
+func (b *backend) srcReady(u *uop.UOp) uint64 {
+	var r uint64
+	if u.Src1 != isa.RegNone && !u.Src1Imm {
+		if t := b.regReady[u.Src1]; t > r {
+			r = t
+		}
+	}
+	if u.Src2 != isa.RegNone && !u.Src2Imm {
+		if t := b.regReady[u.Src2]; t > r {
+			r = t
+		}
+	}
+	return r
+}
+
+// dispatch enters one micro-op into the back end at cycle `now`, computing
+// its completion time from operand readiness, functional-unit contention
+// and memory latency. The caller has already checked canDispatch.
+// memAddr is the oracle-provided effective address for loads/stores.
+// Returns the completion cycle.
+func (b *backend) dispatch(u *uop.UOp, now uint64, memAddr uint64, doomed bool, st *Stats) uint64 {
+	ready := b.srcReady(u)
+	if ready < now {
+		ready = now
+	}
+	var complete uint64
+
+	switch u.Kind {
+	case uop.KAlu:
+		var start uint64
+		switch u.Fn {
+		case isa.FnMul:
+			start, complete = b.mulFU.issue(ready)
+			st.MulDivOps++
+		case isa.FnDiv:
+			start, complete = b.divFU.issue(ready)
+			st.MulDivOps++
+		default:
+			start, complete = b.intALU.issue(ready)
+			st.IntOps++
+		}
+		heap.Push(&b.iq, start)
+	case uop.KMovImm, uop.KNop, uop.KHalt:
+		// Zero-latency at rename (immediate moves resolve in the map
+		// table; nop/halt occupy only the ROB).
+		complete = ready
+	case uop.KMov:
+		// Rename-time move elimination (Icelake baseline feature).
+		complete = ready
+		st.RenameMoveElim++
+	case uop.KLoad:
+		lat := b.hier.LoadLatency(memAddr)
+		aligned := memAddr &^ 7
+		if fwd, ok := b.storeReady[aligned]; ok {
+			// Store-to-load forwarding.
+			if fwd > ready {
+				ready = fwd
+			}
+			if lat > b.hier.L1D.Config().Latency {
+				lat = b.hier.L1D.Config().Latency
+			}
+		}
+		var start uint64
+		start, complete = b.mem.issueLatency(ready, lat)
+		heap.Push(&b.iq, start)
+		heap.Push(&b.lsq, complete)
+		st.Loads++
+	case uop.KStore:
+		var start uint64
+		start, complete = b.mem.issueLatency(ready, 1)
+		b.hier.StoreAccess(memAddr)
+		if !doomed {
+			if len(b.storeReady) > 1<<14 {
+				b.storeReady = make(map[uint64]uint64)
+			}
+			b.storeReady[memAddr&^7] = complete
+		}
+		heap.Push(&b.iq, start)
+		heap.Push(&b.lsq, complete)
+		st.Stores++
+	case uop.KBranch, uop.KJump, uop.KJumpReg:
+		var start uint64
+		start, complete = b.intALU.issue(ready)
+		heap.Push(&b.iq, start)
+		st.IntOps++
+	case uop.KFp:
+		var start uint64
+		start, complete = b.fpFU.issue(ready)
+		heap.Push(&b.iq, start)
+		st.FPOps++
+	default:
+		complete = ready
+	}
+
+	if u.HasDst() && !doomed {
+		b.regReady[u.Dst] = complete
+	}
+	st.IssuedUops++
+	return complete
+}
+
+// pushROB appends the dispatched uop for in-order commit tracking.
+func (b *backend) pushROB(complete uint64, doomed, slot, macroEnd bool) {
+	b.rob = append(b.rob, robEntry{complete: complete, doomed: doomed, slot: slot, macroEnd: macroEnd})
+}
+
+// inlineLiveOut makes a rename-time-inlined constant immediately available
+// to dependents (physical register inlining).
+func (b *backend) inlineLiveOut(r isa.Reg, now uint64) {
+	if r < isa.Reg(len(b.regReady)) {
+		b.regReady[r] = now
+	}
+}
+
+// commit retires up to CommitWidth completed uops in order, updating stats.
+// It returns the number retired.
+func (b *backend) commit(now uint64, st *Stats) int {
+	n := 0
+	for n < b.cfg.CommitWidth && b.robHead < len(b.rob) {
+		e := &b.rob[b.robHead]
+		if e.complete > now {
+			break
+		}
+		b.robHead++
+		n++
+		if e.doomed {
+			st.SquashedUops++
+		} else {
+			st.CommittedUops++
+			if e.slot {
+				st.CommittedSlots++
+			}
+			if e.macroEnd {
+				st.CommittedMacros++
+			}
+		}
+	}
+	// Compact the ROB slice once the head grows large.
+	if b.robHead > 4096 && b.robHead == len(b.rob) {
+		b.rob = b.rob[:0]
+		b.robHead = 0
+	} else if b.robHead > 1<<16 {
+		b.rob = append(b.rob[:0], b.rob[b.robHead:]...)
+		b.robHead = 0
+	}
+	return n
+}
+
+// drained reports whether all in-flight work has retired.
+func (b *backend) drained() bool { return b.robHead >= len(b.rob) }

@@ -1,0 +1,713 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"sccsim/internal/asm"
+	"sccsim/internal/bpred"
+	"sccsim/internal/cache"
+	"sccsim/internal/emu"
+	"sccsim/internal/isa"
+	"sccsim/internal/scc"
+	"sccsim/internal/uop"
+	"sccsim/internal/uopcache"
+	"sccsim/internal/vpred"
+)
+
+// fetch sources (Figure 7's three-way breakdown).
+const (
+	srcDecode = iota
+	srcUnopt
+	srcOpt
+)
+
+// idqEntry is one micro-op waiting in the instruction decode queue.
+type idqEntry struct {
+	u        uop.UOp
+	memAddr  uint64
+	doomed   bool // part of a violated compacted stream: flushes, never commits
+	redirect bool // fetch resumes only after this uop completes (+ penalty)
+	liveOuts []uopcache.LiveOut
+	source   int
+}
+
+// stream is a run of fetched entries being pushed into the IDQ.
+type stream struct {
+	entries []idqEntry
+	idx     int
+	rate    int    // slots pushed per cycle (fetch vs decode width)
+	readyAt uint64 // first cycle entries may enter the IDQ
+	source  int
+}
+
+// Machine is the complete simulated processor.
+type Machine struct {
+	Cfg    Config
+	Prog   *asm.Program
+	Oracle *emu.Machine
+	BP     *bpred.Unit
+	VP     vpred.Predictor
+	Hier   *cache.Hierarchy
+	UC     *uopcache.UopCache
+	Unit   *scc.Unit
+	Stats  Stats
+
+	be  *backend
+	dec *uop.Decoder
+
+	idq      []idqEntry
+	idqHead  int
+	idqSlots int
+
+	cur stream
+
+	redirectPending  bool
+	redirectIsSquash bool
+	resumeFetchAt    uint64 // 0 = not yet known (redirect uop not dispatched)
+
+	nextPC     uint64
+	forceUnopt map[uint64]bool
+	locked     map[uint64]*uopcache.Line
+	lastReq    map[uint64]uint64
+	// regionSquashes counts invariant violations per entry PC; repeated
+	// offenders back off exponentially from re-compaction (§V's phase-out
+	// of streams whose invariants have gone stale).
+	regionSquashes map[uint64]uint64
+	scratch        []*uopcache.Line
+
+	// dryRes holds per-uop oracle results from the most recent compacted-
+	// stream validation dry-run, keyed by scc.VPKey.
+	dryRes map[uint64]emu.ExecResult
+
+	cycle uint64
+	done  bool
+}
+
+// New builds a machine for the given program and configuration.
+func New(cfg Config, prog *asm.Program) (*Machine, error) {
+	vp := vpred.New(cfg.ValuePredictor)
+	if vp == nil {
+		return nil, fmt.Errorf("pipeline: unknown value predictor %q", cfg.ValuePredictor)
+	}
+	m := &Machine{
+		Cfg:            cfg,
+		Prog:           prog,
+		Oracle:         emu.New(prog),
+		BP:             bpred.NewUnit(),
+		VP:             vp,
+		Hier:           cache.NewHierarchy(cfg.Hier),
+		UC:             uopcache.New(cfg.UC),
+		dec:            uop.NewDecoder(prog.InstAt),
+		forceUnopt:     make(map[uint64]bool),
+		locked:         make(map[uint64]*uopcache.Line),
+		lastReq:        make(map[uint64]uint64),
+		regionSquashes: make(map[uint64]uint64),
+		dryRes:         make(map[uint64]emu.ExecResult),
+	}
+	m.be = newBackend(&m.Cfg, m.Hier)
+	m.nextPC = prog.Entry
+	if cfg.SCCEnabled {
+		m.Unit = scc.NewUnit(cfg.SCC, scc.Env{
+			UopsAt: m.dec.At,
+			Resident: func(pc uint64) bool {
+				return m.UC.Unopt.RegionResident(pc)
+			},
+			ProbeValue: func(key uint64) (int64, int, bool) {
+				m.Stats.SCCVPProbes++
+				p, ok := m.VP.Predict(key)
+				// Only stable predictions qualify as data invariants: a
+				// nonzero-stride prediction is right for the next dynamic
+				// instance but cannot hold across repeated executions of
+				// the compacted stream.
+				return p.Value, p.Confidence, ok && p.Stable
+			},
+			ProbeBranch: func(pc uint64, cond bool, tgt uint64, isRet bool) (bool, uint64, int) {
+				m.Stats.SCCBPProbes++
+				return m.BP.Probe(pc, cond, tgt, isRet)
+			},
+		})
+	}
+	return m, nil
+}
+
+// Run simulates until the program halts or cfg.MaxUops micro-ops commit.
+// It returns the final stats.
+func (m *Machine) Run() (*Stats, error) {
+	var lastProgress uint64
+	lastCommitted := uint64(0)
+	for !m.done {
+		m.cycle++
+		m.Stats.Cycles = m.cycle
+
+		m.be.commit(m.cycle, &m.Stats)
+		m.dispatch()
+		m.fetch()
+		m.sccTick()
+		m.UC.Tick()
+
+		if m.Stats.CommittedUops != lastCommitted {
+			lastCommitted = m.Stats.CommittedUops
+			lastProgress = m.cycle
+		}
+		// MaxUops bounds *program work* (micro-ops executed by the
+		// functional oracle), which is identical across configurations —
+		// the fixed-work unit that makes committed-uop and cycle counts
+		// comparable between the baseline and SCC. Once the budget is
+		// reached, fetch stops and the pipeline drains.
+		if (m.Oracle.Halted() || m.Oracle.UopCount >= m.Cfg.MaxUops) &&
+			m.streamEmpty() && m.idqEmpty() && m.be.drained() {
+			break
+		}
+		if m.cycle-lastProgress > 100_000 {
+			return &m.Stats, fmt.Errorf("pipeline: no commit progress for 100000 cycles at cycle %d (pc %#x)", m.cycle, m.nextPC)
+		}
+	}
+	return &m.Stats, nil
+}
+
+func (m *Machine) streamEmpty() bool { return m.cur.idx >= len(m.cur.entries) }
+func (m *Machine) idqEmpty() bool    { return m.idqHead >= len(m.idq) }
+
+// --- dispatch: IDQ → back end ---
+
+func (m *Machine) dispatch() {
+	slots := 0
+	for !m.idqEmpty() && slots < m.Cfg.RenameWidth {
+		e := &m.idq[m.idqHead]
+		isMem := e.u.Kind == uop.KLoad || e.u.Kind == uop.KStore
+		if !m.be.canDispatch(m.cycle, isMem) {
+			m.Stats.ROBStallCycles++
+			return
+		}
+		complete := m.be.dispatch(&e.u, m.cycle, e.memAddr, e.doomed, &m.Stats)
+		m.be.pushROB(complete, e.doomed, !e.u.FusedWithPrev, e.u.SeqNum == e.u.NumInMacro-1)
+		m.Stats.RenamedUops++
+		if e.redirect && m.resumeFetchAt == 0 {
+			m.resumeFetchAt = complete + uint64(m.Cfg.RedirectLatency)
+		}
+		for _, lo := range e.liveOuts {
+			m.be.inlineLiveOut(lo.Reg, m.cycle)
+			m.Stats.LiveOutsInlined++
+		}
+		if !e.u.FusedWithPrev {
+			slots++
+		}
+		m.idqHead++
+		m.idqSlots -= boolToInt(!e.u.FusedWithPrev)
+	}
+	if m.idqHead > 4096 && m.idqHead == len(m.idq) {
+		m.idq = m.idq[:0]
+		m.idqHead = 0
+	} else if m.idqHead > 1<<15 {
+		m.idq = append(m.idq[:0], m.idq[m.idqHead:]...)
+		m.idqHead = 0
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// --- fetch ---
+
+func (m *Machine) fetch() {
+	// The fetch engine delivers up to FetchWidth fused slots per cycle,
+	// chaining across line boundaries as real uop caches do. Streams from
+	// the legacy decode path are additionally rate-limited by DecodeWidth
+	// inside pushStream.
+	budget := m.Cfg.FetchWidth
+	for budget > 0 {
+		n, blocked := m.pushStream(budget)
+		budget -= n
+		if blocked || budget == 0 {
+			return
+		}
+		if !m.streamEmpty() {
+			return // waiting on readyAt
+		}
+		// Stream exhausted: handle pending redirects before building more.
+		if m.redirectPending {
+			if m.resumeFetchAt == 0 || m.cycle < m.resumeFetchAt {
+				if m.redirectIsSquash {
+					m.Stats.SquashCycles++
+				} else {
+					m.Stats.MispredictCycles++
+				}
+				return
+			}
+			m.redirectPending = false
+			m.resumeFetchAt = 0
+		}
+		if m.Oracle.Halted() || m.Oracle.UopCount >= m.Cfg.MaxUops {
+			m.Stats.FetchIdleCycles++
+			return
+		}
+		m.buildStream()
+		if m.streamEmpty() {
+			return // nothing fetchable (halt)
+		}
+	}
+}
+
+// pushStream moves up to min(budget, stream rate) fused slots into the
+// IDQ. It returns the slots pushed and whether it hit a capacity block.
+func (m *Machine) pushStream(budget int) (int, bool) {
+	if m.streamEmpty() || m.cycle < m.cur.readyAt {
+		return 0, false
+	}
+	rate := m.cur.rate
+	if rate > budget {
+		rate = budget
+	}
+	pushed := 0
+	for m.cur.idx < len(m.cur.entries) && pushed < rate {
+		e := m.cur.entries[m.cur.idx]
+		if !e.u.FusedWithPrev && m.idqSlots >= m.Cfg.IDQSize {
+			m.Stats.IDQStallCycles++
+			return pushed, true
+		}
+		m.idq = append(m.idq, e)
+		if !e.u.FusedWithPrev {
+			m.idqSlots++
+			pushed++
+		}
+		m.cur.idx++
+		switch e.source {
+		case srcDecode:
+			m.Stats.UopsFromDecode += uint64(boolToInt(!e.u.FusedWithPrev))
+		case srcUnopt:
+			m.Stats.UopsFromUnopt += uint64(boolToInt(!e.u.FusedWithPrev))
+		case srcOpt:
+			m.Stats.UopsFromOpt += uint64(boolToInt(!e.u.FusedWithPrev))
+		}
+	}
+	// A decode-path stream exhausts the cycle's decode bandwidth.
+	blocked := m.cur.source == srcDecode && pushed >= rate && !m.streamEmpty()
+	return pushed, blocked
+}
+
+// buildStream selects the next fetch source at nextPC and constructs the
+// stream (the fetch state machine of Figure 5).
+func (m *Machine) buildStream() {
+	pc := m.nextPC
+
+	var sel uopcache.Selection
+	if m.forceUnopt[pc] {
+		// Post-squash redirect: the offending stream came from the
+		// optimized partition, so fetch must source the unoptimized
+		// version this time (§V misspeculation recovery).
+		delete(m.forceUnopt, pc)
+		sel = uopcache.Selection{Line: m.UC.Unopt.Lookup(pc)}
+	} else {
+		sel, m.scratch = m.UC.Select(pc, m.scratch, m.vpMatches)
+	}
+
+	switch {
+	case sel.FromOpt:
+		m.buildFromOpt(sel.Line)
+		// Periodically re-optimize even while an optimized version is
+		// streaming: predictions mature over time, so a later compaction
+		// job may mint a better (or co-hosted alternative) version that
+		// the profitability score will then prefer (§V: making room for
+		// newer and potentially more useful instruction streams).
+		m.maybeRequestCompaction(nil, pc, 2000)
+	case sel.Line != nil:
+		m.buildTrace(sel.Line.Slots, srcUnopt, 0)
+		m.maybeRequestCompaction(sel.Line, pc, 200)
+	default:
+		m.buildFromDecode(pc)
+	}
+}
+
+// vpMatches implements the §V profitability check: a stored data invariant
+// must match the value predictor's *current* prediction to stream.
+func (m *Machine) vpMatches(d uopcache.DataInvariant) bool {
+	// Later occurrences of a key (wrapped loop iterations) cannot be
+	// checked against the predictor's single current prediction; the
+	// first occurrence's check plus execution-time validation covers them.
+	if d.Occ > 0 {
+		return true
+	}
+	m.Stats.VPLookups++
+	p, ok := m.VP.Predict(d.Key)
+	return ok && p.Value == d.Value
+}
+
+// maybeRequestCompaction enqueues a compaction request when a line crosses
+// the hotness threshold. line may be nil (re-optimization of a region that
+// is currently streaming from the optimized partition); baseCooldown is the
+// minimum re-request interval, scaled up exponentially for squash-prone
+// regions.
+func (m *Machine) maybeRequestCompaction(line *uopcache.Line, pc uint64, baseCooldown uint64) {
+	if m.Unit == nil || !m.Unit.Enabled() {
+		return
+	}
+	if line != nil && line.Hot < m.Cfg.UC.HotThreshold {
+		return
+	}
+	cooldown := baseCooldown
+	if n := m.regionSquashes[pc]; n > 0 {
+		if n > 8 {
+			n = 8
+		}
+		cooldown <<= n // exponential backoff for squash-prone regions
+	}
+	if last, ok := m.lastReq[pc]; ok && m.cycle-last < cooldown {
+		return
+	}
+	if m.Unit.Request(pc) {
+		m.lastReq[pc] = m.cycle
+		if line != nil && m.UC.Unopt.Lock(line) {
+			m.locked[pc] = line
+		}
+	}
+}
+
+// trainBranch updates the full branch prediction substrate with a resolved
+// branch outcome and returns whether the front-end prediction was correct.
+func (m *Machine) trainBranch(u *uop.UOp, res emu.ExecResult) bool {
+	m.Stats.BranchUops++
+	m.Stats.BPLookups++
+	isRet := u.Kind == uop.KJumpReg && u.Src1 == isa.LR
+	cond := u.Kind == uop.KBranch
+	direct := u.Target
+	if u.Kind == uop.KJumpReg {
+		direct = 0
+	}
+	predTaken, predTarget, _ := m.BP.PredictUop(0, u.MacroPC, cond, direct, isRet)
+
+	correct := predTaken == res.Taken && (!res.Taken || predTarget == res.Target)
+
+	// Train.
+	if cond {
+		m.BP.Dir.Update(u.MacroPC, res.Taken)
+		if res.Taken {
+			m.BP.Btb.Update(u.MacroPC, res.Target)
+		}
+		if res.Taken && res.Target <= u.MacroPC {
+			m.BP.Lsd.Update(u.MacroPC, true)
+		} else if !res.Taken {
+			m.BP.Lsd.Update(u.MacroPC, false)
+		}
+	} else {
+		m.BP.Btb.Update(u.MacroPC, res.Target)
+		if isRet {
+			m.BP.Ras.Pop()
+		} else if u.Kind == uop.KJumpReg {
+			m.BP.Itt.Update(u.MacroPC, res.Target)
+		}
+	}
+	if !correct {
+		m.Stats.BranchMispredicts++
+	}
+	return correct
+}
+
+// trainValue trains the value predictor on an executed uop's result.
+// FP destinations train only under the FP-compaction extension.
+func (m *Machine) trainValue(u *uop.UOp, res emu.ExecResult) {
+	if !u.HasDst() || u.Dst == isa.RegTmp {
+		return
+	}
+	if u.Dst.IsFP() && !m.Cfg.SCC.EnableFPFold {
+		return
+	}
+	switch u.Kind {
+	case uop.KLoad, uop.KAlu, uop.KMovImm, uop.KMov:
+		m.VP.Train(scc.VPKey(u), res.Value)
+		m.Stats.VPTrains++
+	}
+}
+
+// rasOnCall pushes the return address when a call's link-write uop executes.
+func (m *Machine) rasOnCall(u *uop.UOp) {
+	if u.Kind == uop.KMovImm && u.Dst == isa.LR {
+		m.BP.Ras.Push(uint64(u.Imm))
+	}
+}
+
+// buildTrace generates a stream by advancing the oracle up to budgetSlots
+// fused slots, stopping at a taken branch, a halt, a misprediction, or the
+// end of the entry's 32-byte code region (micro-op cache lines are
+// region-aligned, matching the SCC unit's optimization granularity).
+// This is both the unoptimized-partition streaming path and (via
+// buildFromDecode) the legacy decode path.
+func (m *Machine) buildTrace(budgetSlots int, source int, latency uint64) []idqEntry {
+	m.cur = stream{rate: m.Cfg.FetchWidth, readyAt: m.cycle + latency, source: source}
+	if source == srcDecode {
+		m.cur.rate = m.Cfg.DecodeWidth
+	}
+	region := isa.RegionStart(m.Oracle.PC())
+	slots := 0
+	for slots < budgetSlots {
+		if isa.RegionStart(m.Oracle.PC()) != region && m.Oracle.Seq() == 0 {
+			break // region boundary: the line ends here
+		}
+		res, ok := m.Oracle.StepUop()
+		if !ok {
+			break
+		}
+		u := *res.U
+		e := idqEntry{u: u, memAddr: res.MemAddr, source: source}
+		m.trainValue(&u, res)
+		m.rasOnCall(&u)
+		stop := false
+		if u.IsBranchKind() {
+			correct := m.trainBranch(&u, res)
+			if !correct {
+				e.redirect = true
+				m.redirectPending = true
+				m.redirectIsSquash = false
+				stop = true
+			} else if res.Taken {
+				stop = true // lines/fetch groups end at taken branches
+			}
+		}
+		if u.Kind == uop.KHalt {
+			stop = true
+		}
+		m.cur.entries = append(m.cur.entries, e)
+		if !u.FusedWithPrev {
+			slots++
+		}
+		if stop {
+			break
+		}
+	}
+	m.nextPC = m.Oracle.PC()
+	if source == srcDecode {
+		m.Stats.DecodedUops += uint64(len(m.cur.entries))
+	}
+	return m.cur.entries
+}
+
+// buildFromDecode fetches via the instruction cache and legacy decode
+// pipeline, then installs the decoded uops as a new unoptimized line.
+func (m *Machine) buildFromDecode(pc uint64) {
+	fetchLat := m.Hier.FetchLatency(pc)
+	m.Stats.ICacheFetches++
+	entries := m.buildTrace(uopcache.MaxLineSlots, srcDecode,
+		uint64(fetchLat+m.Cfg.DecodeLatency))
+	if len(entries) == 0 {
+		return
+	}
+	uops := make([]uop.UOp, len(entries))
+	for i := range entries {
+		uops[i] = entries[i].u
+	}
+	uop.MacroFuse(uops)
+	m.UC.Unopt.Insert(uopcache.NewLine(pc, uops, nil))
+}
+
+// buildFromOpt streams a compacted line: the oracle dry-runs the original
+// sequence under an undo log to validate every invariant; on success the
+// compacted micro-ops are streamed (and the eliminated ones counted); on a
+// violation the stream is squashed back to the unoptimized version (§V).
+func (m *Machine) buildFromOpt(line *uopcache.Line) {
+	meta := line.Meta
+	clear(m.dryRes)
+
+	m.Oracle.BeginUndo()
+	violated := -1 // invariant index (data first, then control)
+	steps := 0
+	occ := map[uint64]int{}
+	for steps < meta.OrigUops {
+		res, ok := m.Oracle.StepUop()
+		if !ok {
+			break
+		}
+		steps++
+		key := scc.VPKey(res.U)
+		m.dryRes[key] = res
+		thisOcc := occ[key]
+		occ[key]++
+		// Check data invariants at their prediction sources; an invariant
+		// binds to one dynamic occurrence of its key (wrapped loops).
+		for i := range meta.DataInv {
+			if meta.DataInv[i].Key == key && meta.DataInv[i].Occ == thisOcc &&
+				meta.DataInv[i].Value != res.Value {
+				violated = i
+				break
+			}
+		}
+		if violated >= 0 {
+			break
+		}
+		// Check control invariants at their branches.
+		if res.U.IsBranchKind() {
+			for i := range meta.CtrlInv {
+				ci := &meta.CtrlInv[i]
+				if ci.PC == res.U.MacroPC {
+					if ci.Taken != res.Taken || (res.Taken && ci.Target != res.Target) {
+						violated = len(meta.DataInv) + i
+					}
+					break
+				}
+			}
+			if violated >= 0 {
+				break
+			}
+		}
+	}
+
+	if violated >= 0 {
+		m.Oracle.Rollback()
+		meta.Penalize(violated)
+		m.Stats.InvariantViolations++
+		m.Stats.OptStreamsSquashed++
+		m.regionSquashes[line.EntryPC]++
+		m.buildDoomedStream(line, violated)
+		m.forceUnopt[line.EntryPC] = true
+		m.nextPC = line.EntryPC
+		return
+	}
+
+	// All invariants hold: commit the dry-run architecturally.
+	m.Oracle.CommitUndo()
+	meta.Reward()
+	m.Stats.OptStreams++
+	m.Stats.ElimMove += uint64(meta.ElimMove)
+	m.Stats.ElimFold += uint64(meta.ElimFold)
+	m.Stats.ElimBranch += uint64(meta.ElimBranch)
+	m.Stats.Propagated += uint64(meta.Propagated)
+	switch n := len(meta.LiveOuts); {
+	case n == 1:
+		m.Stats.StreamsWith1LiveOut++
+	case n == 2:
+		m.Stats.StreamsWith2LiveOut++
+	case n > 2:
+		m.Stats.StreamsWithMoreLO++
+	}
+
+	m.cur = stream{rate: m.Cfg.FetchWidth, readyAt: m.cycle, source: srcOpt}
+	for i := range line.Uops {
+		u := line.Uops[i]
+		e := idqEntry{u: u, source: srcOpt}
+		if res, ok := m.dryRes[scc.VPKey(&u)]; ok {
+			e.memAddr = res.MemAddr
+			// Retained uops execute: train the predictors so their state
+			// never goes out of sync while optimized streams run (§V).
+			m.trainValue(&u, res)
+			m.rasOnCall(&u)
+			if u.IsBranchKind() {
+				if u.PredSource {
+					// Control-invariant branch: validated above; train.
+					m.Stats.BranchUops++
+					if u.Kind == uop.KBranch {
+						m.BP.Dir.Update(u.MacroPC, res.Taken)
+						if res.Taken {
+							m.BP.Btb.Update(u.MacroPC, res.Target)
+						}
+					} else {
+						m.BP.Btb.Update(u.MacroPC, res.Target)
+					}
+				} else {
+					// Terminal unresolved branch: normal prediction.
+					if !m.trainBranch(&u, res) {
+						e.redirect = true
+						m.redirectPending = true
+						m.redirectIsSquash = false
+					}
+				}
+			}
+		}
+		m.cur.entries = append(m.cur.entries, e)
+	}
+	// Live-outs inline at the end of the compacted stream (§IV).
+	if len(m.cur.entries) > 0 {
+		m.cur.entries[len(m.cur.entries)-1].liveOuts = meta.LiveOuts
+	} else {
+		// Fully eliminated stream (no retained uops): inline immediately.
+		for _, lo := range meta.LiveOuts {
+			m.be.inlineLiveOut(lo.Reg, m.cycle)
+			m.Stats.LiveOutsInlined += 1
+		}
+	}
+	m.nextPC = m.Oracle.PC()
+}
+
+// buildDoomedStream enqueues the violated compacted stream's uops up to and
+// including the offending prediction source; they traverse the pipeline for
+// timing (wrong-path work) but are flushed rather than committed, and the
+// last one arms the squash redirect.
+func (m *Machine) buildDoomedStream(line *uopcache.Line, violated int) {
+	meta := line.Meta
+	var stopKey uint64
+	haveStop := false
+	if violated < len(meta.DataInv) {
+		stopKey = meta.DataInv[violated].Key
+		haveStop = true
+	} else if ci := violated - len(meta.DataInv); ci < len(meta.CtrlInv) {
+		// Stop at the violating control-invariant branch.
+		for i := range line.Uops {
+			u := &line.Uops[i]
+			if u.IsBranchKind() && u.MacroPC == meta.CtrlInv[ci].PC {
+				stopKey = scc.VPKey(u)
+				haveStop = true
+				break
+			}
+		}
+	}
+	m.cur = stream{rate: m.Cfg.FetchWidth, readyAt: m.cycle, source: srcOpt}
+	for i := range line.Uops {
+		u := line.Uops[i]
+		e := idqEntry{u: u, source: srcOpt, doomed: true}
+		if res, ok := m.dryRes[scc.VPKey(&u)]; ok {
+			e.memAddr = res.MemAddr
+		}
+		last := haveStop && scc.VPKey(&u) == stopKey
+		if last {
+			e.redirect = true
+		}
+		m.cur.entries = append(m.cur.entries, e)
+		if last {
+			break
+		}
+	}
+	if len(m.cur.entries) == 0 {
+		// Defensive: violation with no retained uop; charge a fixed stall.
+		m.resumeFetchAt = m.cycle + uint64(m.Cfg.RedirectLatency)
+	} else if !m.cur.entries[len(m.cur.entries)-1].redirect {
+		m.cur.entries[len(m.cur.entries)-1].redirect = true
+	}
+	m.redirectPending = true
+	m.redirectIsSquash = true
+}
+
+// --- SCC unit tick ---
+
+func (m *Machine) sccTick() {
+	if m.Unit == nil {
+		return
+	}
+	res, ok := m.Unit.Tick(m.cycle)
+	if !ok {
+		return
+	}
+	m.Stats.SCCRCTReads += res.RCTReads
+	m.Stats.SCCRCTWrites += res.RCTWrites
+	m.Stats.SCCALUOps += uint64(res.ElimFold + res.ElimBranch)
+	if res.Line != nil {
+		m.Stats.SCCUopsWritten += uint64(len(res.Line.Uops))
+		scc.InitialConfidence(res.Line.Meta)
+		if m.UC.Opt != nil {
+			m.UC.Opt.Insert(res.Line)
+		}
+		// Unlock the source line now that compaction finished.
+		if l, ok := m.locked[res.Line.EntryPC]; ok {
+			m.UC.Unopt.Unlock(l)
+			delete(m.locked, res.Line.EntryPC)
+		}
+	} else {
+		// Aborted/discarded: unlock whatever we had locked for this job.
+		for pc, l := range m.locked {
+			if m.Unit.QueueLen() == 0 || !m.Unit.Busy(m.cycle) {
+				m.UC.Unopt.Unlock(l)
+				delete(m.locked, pc)
+			}
+		}
+	}
+}

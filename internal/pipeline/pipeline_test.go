@@ -1,0 +1,458 @@
+package pipeline
+
+import (
+	"testing"
+
+	"sccsim/internal/asm"
+	"sccsim/internal/emu"
+	"sccsim/internal/isa"
+	"sccsim/internal/scc"
+)
+
+// hotLoop is a compile-time-optimized-looking kernel with SCC-friendly
+// structure: a hot loop containing a redundant load of an invariant value,
+// immediate moves, and foldable integer ops.
+const hotLoop = `
+	.data 0x100000
+coef:	.word 3
+buf:	.space 8192
+	.text
+	.entry main
+main:
+	movi r1, 0          ; i
+	movi r2, 1000       ; n
+	movi r3, buf
+	movi r6, 0          ; acc
+loop:
+	movi r8, coef
+	ld   r4, [r8+0]     ; invariant load (coef never changes)
+	addi r5, r4, 10     ; foldable against the invariant
+	add  r6, r6, r5
+	shli r7, r1, 3
+	add  r7, r3, r7
+	st   [r7+0], r6
+	addi r1, r1, 1
+	cmp  r1, r2
+	bne  loop
+	halt
+`
+
+func runProg(t *testing.T, cfg Config, src string) *Stats {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func runMachine(t *testing.T, cfg Config, src string) (*Machine, *Stats) {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, st
+}
+
+func TestBaselineRunsToCompletion(t *testing.T) {
+	cfg := Icelake()
+	cfg.MaxUops = 1 << 62
+	st := runProg(t, cfg, hotLoop)
+	// 4 setup + 1000*10 loop uops + halt = 10005 committed uops.
+	if st.CommittedUops != 10005 {
+		t.Errorf("committed = %d, want 10005", st.CommittedUops)
+	}
+	if st.Cycles == 0 || st.IPC() <= 0.5 {
+		t.Errorf("implausible cycles=%d ipc=%.2f", st.Cycles, st.IPC())
+	}
+	if st.UopsFromOpt != 0 {
+		t.Error("baseline must not stream from an optimized partition")
+	}
+	// The loop gets hot, so most fetches must come from the uop cache.
+	if st.UopsFromUnopt < st.UopsFromDecode {
+		t.Errorf("uop cache utilization too low: unopt=%d decode=%d",
+			st.UopsFromUnopt, st.UopsFromDecode)
+	}
+}
+
+func TestSCCReducesCommittedUops(t *testing.T) {
+	base := Icelake()
+	base.MaxUops = 1 << 62
+	bst := runProg(t, base, hotLoop)
+
+	cfg := IcelakeSCC(scc.LevelFull)
+	cfg.MaxUops = 1 << 62
+	sst := runProg(t, cfg, hotLoop)
+
+	if sst.EliminatedUops() == 0 {
+		t.Fatal("SCC eliminated nothing on an SCC-friendly kernel")
+	}
+	if sst.CommittedUops >= bst.CommittedUops {
+		t.Errorf("SCC committed %d uops, baseline %d — no compaction",
+			sst.CommittedUops, bst.CommittedUops)
+	}
+	if sst.UopsFromOpt == 0 {
+		t.Error("no micro-ops streamed from the optimized partition")
+	}
+	red := sst.DynamicUopReduction()
+	if red < 0.05 {
+		t.Errorf("uop reduction = %.1f%%, want >= 5%%", red*100)
+	}
+	t.Logf("baseline: %d uops in %d cycles; SCC: %d uops (+%d elim) in %d cycles (reduction %.1f%%)",
+		bst.CommittedUops, bst.Cycles, sst.CommittedUops, sst.EliminatedUops(), sst.Cycles, red*100)
+}
+
+func TestSCCNotSlowerOnFriendlyKernel(t *testing.T) {
+	base := Icelake()
+	base.MaxUops = 1 << 62
+	bst := runProg(t, base, hotLoop)
+	cfg := IcelakeSCC(scc.LevelFull)
+	cfg.MaxUops = 1 << 62
+	sst := runProg(t, cfg, hotLoop)
+	if float64(sst.Cycles) > 1.10*float64(bst.Cycles) {
+		t.Errorf("SCC is >10%% slower: %d vs %d cycles", sst.Cycles, bst.Cycles)
+	}
+}
+
+func TestArchitecturalStateMatchesGoldenModel(t *testing.T) {
+	// The pipeline's functional oracle must end in exactly the state a
+	// pure emulator run produces — squash/rollback bookkeeping included.
+	for _, cfgName := range []string{"baseline", "scc"} {
+		var cfg Config
+		if cfgName == "baseline" {
+			cfg = Icelake()
+		} else {
+			cfg = IcelakeSCC(scc.LevelFull)
+		}
+		cfg.MaxUops = 1 << 62
+		p := asm.MustAssemble(hotLoop)
+		m, err := New(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		golden := emu.New(p)
+		golden.Run(1 << 30)
+		for r := isa.R0; r <= isa.SP; r++ {
+			if a, b := m.Oracle.St.Get(r), golden.St.Get(r); a != b {
+				t.Errorf("%s: register %s = %d, golden %d", cfgName, r, a, b)
+			}
+		}
+		if m.Oracle.Mem.Read64(0x100008) != golden.Mem.Read64(0x100008) {
+			t.Errorf("%s: memory diverged from golden model", cfgName)
+		}
+	}
+}
+
+func TestInvariantViolationSquashesAndRecovers(t *testing.T) {
+	// The "invariant" load changes value mid-run: SCC must squash, fall
+	// back to the unoptimized stream, and still produce correct state.
+	src := `
+	.data 0x100000
+v:	.word 5
+buf:	.space 8192
+	.text
+	.entry main
+main:
+	movi r1, 0
+	movi r2, 600
+	movi r9, v
+	movi r6, 0
+loop:
+	ld   r4, [r9+0]      ; "invariant"... until iteration 300
+	addi r5, r4, 1
+	add  r6, r6, r5
+	cmpi r1, 300
+	bne  skip
+	movi r7, 99
+	st   [r9+0], r7      ; the dataset changes here
+skip:
+	addi r1, r1, 1
+	cmp  r1, r2
+	bne  loop
+	halt
+`
+	cfg := IcelakeSCC(scc.LevelFull)
+	cfg.MaxUops = 1 << 62
+	p := asm.MustAssemble(src)
+	m, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := emu.New(p)
+	golden.Run(1 << 30)
+	if got, want := m.Oracle.St.Get(isa.R6), golden.St.Get(isa.R6); got != want {
+		t.Errorf("acc r6 = %d, golden %d (squash recovery broke state)", got, want)
+	}
+	if st.EliminatedUops() == 0 {
+		t.Error("expected some compaction before the phase change")
+	}
+	t.Logf("violations=%d squashedUops=%d optStreams=%d",
+		st.InvariantViolations, st.SquashedUops, st.OptStreams)
+}
+
+func TestPartitionedBaselinePerformsSimilarly(t *testing.T) {
+	// Figure 6: the partitioned baseline performs close to the original
+	// baseline (slightly worse is fine; dramatically worse is a bug).
+	base := Icelake()
+	base.MaxUops = 1 << 62
+	part := IcelakeSCC(scc.LevelPartitioned)
+	part.MaxUops = 1 << 62
+	b := runProg(t, base, hotLoop)
+	pp := runProg(t, part, hotLoop)
+	if pp.CommittedUops != b.CommittedUops {
+		t.Errorf("partitioning must not change committed uops: %d vs %d",
+			pp.CommittedUops, b.CommittedUops)
+	}
+	ratio := float64(pp.Cycles) / float64(b.Cycles)
+	if ratio > 1.25 {
+		t.Errorf("partitioned baseline %.2fx slower than baseline", ratio)
+	}
+}
+
+func TestOptimizationLadderMonotonicity(t *testing.T) {
+	// Committed uops must not increase as optimization levels are added.
+	prev := ^uint64(0)
+	for _, lv := range []scc.Level{scc.LevelMoveElim, scc.LevelFoldProp, scc.LevelBranchFold, scc.LevelFull} {
+		cfg := IcelakeSCC(lv)
+		cfg.MaxUops = 1 << 62
+		st := runProg(t, cfg, hotLoop)
+		if prev != ^uint64(0) && st.CommittedUops > prev+100 { // tolerance for noise
+			t.Errorf("level %v committed %d uops, more than previous level (%d)",
+				lv, st.CommittedUops, prev)
+		}
+		prev = st.CommittedUops
+	}
+}
+
+func TestBranchyCodeStillCorrect(t *testing.T) {
+	src := `
+	.data 0x100000
+tab:	.word 3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3
+	.text
+	.entry main
+main:
+	movi r1, 0
+	movi r2, 2000
+	movi r3, tab
+	movi r6, 0
+loop:
+	andi r4, r1, 15
+	shli r4, r4, 3
+	add  r4, r3, r4
+	ld   r5, [r4+0]
+	cmpi r5, 4
+	blt  small
+	addi r6, r6, 2
+	jmp  next
+small:
+	addi r6, r6, 1
+next:
+	addi r1, r1, 1
+	cmp  r1, r2
+	bne  loop
+	halt
+`
+	for _, mk := range []func() Config{Icelake, func() Config { return IcelakeSCC(scc.LevelFull) }} {
+		cfg := mk()
+		cfg.MaxUops = 1 << 62
+		p := asm.MustAssemble(src)
+		m, err := New(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		golden := emu.New(p)
+		golden.Run(1 << 30)
+		if got, want := m.Oracle.St.Get(isa.R6), golden.St.Get(isa.R6); got != want {
+			t.Fatalf("r6 = %d, golden %d", got, want)
+		}
+	}
+}
+
+func TestMemoryBoundKernelGainsLittle(t *testing.T) {
+	// Pointer-chasing through a large ring: memory-bound; SCC should
+	// change execution time very little (the mcf/xz observation).
+	src := `
+	.data 0x100000
+head:	.word 0
+	.text
+	.entry main
+main:
+	movi r1, 0x200000     ; ring base
+	movi r2, 0            ; build index
+	movi r3, 4096         ; nodes
+build:
+	addi r4, r2, 1
+	and  r4, r4, r5
+	movi r5, 4095
+	and  r4, r4, r5
+	mul  r6, r4, r7
+	movi r7, 512          ; node stride (spread over cache)
+	mul  r6, r4, r7
+	add  r6, r1, r6
+	mul  r8, r2, r7
+	add  r8, r1, r8
+	st   [r8+0], r6
+	addi r2, r2, 1
+	cmp  r2, r3
+	bne  build
+	movi r9, 20000        ; chase steps
+	mov  r10, r1
+chase:
+	ld   r10, [r10+0]
+	subi r9, r9, 1
+	cmpi r9, 0
+	bne  chase
+	halt
+`
+	base := Icelake()
+	base.MaxUops = 1 << 62
+	cfg := IcelakeSCC(scc.LevelFull)
+	cfg.MaxUops = 1 << 62
+	b := runProg(t, base, src)
+	s := runProg(t, cfg, src)
+	speedup := float64(b.Cycles) / float64(s.Cycles)
+	if speedup > 1.08 || speedup < 0.92 {
+		t.Errorf("memory-bound kernel speedup = %.3f, want ~1.0", speedup)
+	}
+}
+
+func TestFPKernelUnaffected(t *testing.T) {
+	src := `
+	.entry main
+main:
+	movi r1, 0
+	movi r2, 3000
+	movi r3, 1
+	cvtif f1, r3
+	cvtif f2, r2
+loop:
+	fadd f3, f3, f1
+	fmul f4, f3, f1
+	fdiv f5, f4, f2
+	fadd f6, f6, f5
+	addi r1, r1, 1
+	cmp  r1, r2
+	bne  loop
+	halt
+`
+	cfg := IcelakeSCC(scc.LevelFull)
+	cfg.MaxUops = 1 << 62
+	st := runProg(t, cfg, src)
+	// Loop body is FP-dominated: reduction must be small (lbm/wrf/x264).
+	if red := st.DynamicUopReduction(); red > 0.25 {
+		t.Errorf("FP kernel reduction = %.1f%% — too much for unoptimizable code", red*100)
+	}
+}
+
+func TestRepmovNeverCompacted(t *testing.T) {
+	src := `
+	.data 0x100000
+src0:	.space 256
+dst0:	.space 256
+	.text
+	.entry main
+main:
+	movi r5, 0
+	movi r6, 400
+outer:
+	movi r1, 8
+	movi r2, src0
+	movi r3, dst0
+	repmov
+	addi r5, r5, 1
+	cmp  r5, r6
+	bne  outer
+	halt
+`
+	cfg := IcelakeSCC(scc.LevelFull)
+	cfg.MaxUops = 1 << 62
+	m, st := runMachine(t, cfg, src)
+	_ = st
+	if m.Unit != nil && m.Unit.Stats.Committed > 0 {
+		// Compaction may commit lines for the outer loop region, but any
+		// committed line must not contain self-loop uops.
+		for _, l := range m.UC.Opt.Lines() {
+			for i := range l.Uops {
+				if l.Uops[i].SelfLoop {
+					t.Fatal("self-loop uops leaked into a compacted line")
+				}
+			}
+		}
+	}
+	if m.Unit != nil && m.Unit.Stats.Aborted == 0 {
+		t.Log("note: no aborts recorded (repmov region may not have gotten hot)")
+	}
+}
+
+func TestUnknownValuePredictorRejected(t *testing.T) {
+	cfg := Icelake()
+	cfg.ValuePredictor = "nope"
+	_, err := New(cfg, asm.MustAssemble("halt"))
+	if err == nil {
+		t.Error("unknown predictor must error")
+	}
+}
+
+func TestMaxUopsBoundsRun(t *testing.T) {
+	cfg := Icelake()
+	cfg.MaxUops = 5000
+	st := runProg(t, cfg, "spin: jmp spin")
+	if st.CommittedUops < 5000 || st.CommittedUops > 5000+uint64(cfg.CommitWidth) {
+		t.Errorf("committed = %d, want ~5000", st.CommittedUops)
+	}
+}
+
+func TestStatsDerivedMetrics(t *testing.T) {
+	s := Stats{Cycles: 100, CommittedUops: 200, ElimFold: 50, SquashedUops: 50,
+		BranchMispredicts: 4}
+	if s.IPC() != 2.0 {
+		t.Errorf("IPC = %v", s.IPC())
+	}
+	if s.DynamicUopReduction() != 0.2 {
+		t.Errorf("reduction = %v", s.DynamicUopReduction())
+	}
+	if s.SquashOverhead() != 0.2 {
+		t.Errorf("squash overhead = %v", s.SquashOverhead())
+	}
+	if s.BranchMPKI() != 20 {
+		t.Errorf("MPKI = %v", s.BranchMPKI())
+	}
+}
+
+func TestFigure7ShapeOptDominatesOnHotLoop(t *testing.T) {
+	cfg := IcelakeSCC(scc.LevelFull)
+	cfg.MaxUops = 1 << 62
+	st := runProg(t, cfg, hotLoop)
+	if st.UopsFromOpt < st.UopsFromDecode {
+		t.Errorf("opt partition should dominate decode on a hot loop: opt=%d decode=%d",
+			st.UopsFromOpt, st.UopsFromDecode)
+	}
+	t.Logf("fetch mix: decode=%d unopt=%d opt=%d", st.UopsFromDecode, st.UopsFromUnopt, st.UopsFromOpt)
+}

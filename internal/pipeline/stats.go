@@ -1,0 +1,113 @@
+package pipeline
+
+// Stats aggregates every counter the figures and the energy model consume.
+type Stats struct {
+	Cycles uint64
+
+	// Committed work.
+	CommittedUops   uint64 // micro-ops that architecturally committed
+	CommittedMacros uint64
+	CommittedSlots  uint64 // fused slots committed
+
+	// Eliminated micro-ops, by optimization category (Figure 6 top):
+	// counted dynamically each time a validated compacted stream commits.
+	ElimMove   uint64
+	ElimFold   uint64
+	ElimBranch uint64
+	Propagated uint64
+
+	// Fetch source mix (Figure 7).
+	UopsFromDecode uint64 // slots fetched via icache + legacy decode
+	UopsFromUnopt  uint64 // slots streamed from the unoptimized partition
+	UopsFromOpt    uint64 // slots streamed from the optimized partition
+
+	// Speculation.
+	BranchUops          uint64
+	BranchMispredicts   uint64
+	InvariantViolations uint64 // SCC squashes (Figure 6 bottom)
+	SquashedUops        uint64 // uops flushed by SCC squashes
+	SquashCycles        uint64 // fetch-stall cycles charged to squashes
+	MispredictCycles    uint64 // fetch-stall cycles charged to branch misses
+
+	// Optimized-stream activity.
+	OptStreams          uint64 // validated compacted streams committed
+	OptStreamsSquashed  uint64
+	LiveOutsInlined     uint64
+	StreamsWith1LiveOut uint64
+	StreamsWith2LiveOut uint64
+	StreamsWithMoreLO   uint64
+
+	// Rename-time activity.
+	RenameMoveElim uint64 // baseline rename move eliminations
+	RenamedUops    uint64
+
+	// Back-end activity (energy model inputs).
+	IntOps     uint64
+	MulDivOps  uint64
+	FPOps      uint64
+	Loads      uint64
+	Stores     uint64
+	IssuedUops uint64
+
+	// Front-end activity.
+	DecodedUops     uint64
+	ICacheFetches   uint64 // instruction-cache line fetches
+	VPLookups       uint64
+	VPTrains        uint64
+	BPLookups       uint64
+	SCCVPProbes     uint64
+	SCCBPProbes     uint64
+	SCCRCTReads     uint64
+	SCCRCTWrites    uint64
+	SCCALUOps       uint64
+	SCCUopsWritten  uint64 // write-buffer occupancy events
+	IDQStallCycles  uint64
+	ROBStallCycles  uint64
+	FetchIdleCycles uint64
+}
+
+// TotalFetchedSlots returns the fused slots delivered by all fetch sources.
+func (s *Stats) TotalFetchedSlots() uint64 {
+	return s.UopsFromDecode + s.UopsFromUnopt + s.UopsFromOpt
+}
+
+// IPC returns committed micro-ops per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.CommittedUops) / float64(s.Cycles)
+}
+
+// EliminatedUops returns the total dynamically eliminated micro-op count.
+func (s *Stats) EliminatedUops() uint64 {
+	return s.ElimMove + s.ElimFold + s.ElimBranch
+}
+
+// DynamicUopReduction returns eliminated/(committed+eliminated): the
+// Figure 6 (top) metric.
+func (s *Stats) DynamicUopReduction() float64 {
+	total := s.CommittedUops + s.EliminatedUops()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.EliminatedUops()) / float64(total)
+}
+
+// BranchMPKI returns branch mispredictions per 1000 committed uops.
+func (s *Stats) BranchMPKI() float64 {
+	if s.CommittedUops == 0 {
+		return 0
+	}
+	return 1000 * float64(s.BranchMispredicts) / float64(s.CommittedUops)
+}
+
+// SquashOverhead returns the fraction of pipeline work wasted on flushed
+// compacted-stream micro-ops (Figure 6 bottom).
+func (s *Stats) SquashOverhead() float64 {
+	total := s.CommittedUops + s.SquashedUops
+	if total == 0 {
+		return 0
+	}
+	return float64(s.SquashedUops) / float64(total)
+}

@@ -1,0 +1,97 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"sccsim/internal/pipeline"
+)
+
+func TestEnergyZeroStats(t *testing.T) {
+	r := Energy(DefaultParams(), &pipeline.Stats{}, CacheCounts{})
+	if r.Total() != 0 {
+		t.Errorf("zero activity should cost zero energy, got %v", r.Total())
+	}
+}
+
+func TestEnergyScalesWithActivity(t *testing.T) {
+	p := DefaultParams()
+	st1 := &pipeline.Stats{IssuedUops: 1000, RenamedUops: 1000, Cycles: 1000}
+	st2 := &pipeline.Stats{IssuedUops: 2000, RenamedUops: 2000, Cycles: 2000}
+	r1 := Energy(p, st1, CacheCounts{})
+	r2 := Energy(p, st2, CacheCounts{})
+	if math.Abs(r2.Total()-2*r1.Total()) > 1e-15 {
+		t.Errorf("energy must scale linearly: %v vs %v", r1.Total(), r2.Total())
+	}
+}
+
+func TestLeakageProportionalToCycles(t *testing.T) {
+	p := DefaultParams()
+	st := &pipeline.Stats{Cycles: 2_400_000_000} // one second at 2.4 GHz
+	r := Energy(p, st, CacheCounts{})
+	if math.Abs(r.Leakage-p.LeakageWatts) > 1e-9 {
+		t.Errorf("leakage over 1s = %v J, want %v", r.Leakage, p.LeakageWatts)
+	}
+}
+
+func TestMemoryEnergyDominatedByDRAM(t *testing.T) {
+	p := DefaultParams()
+	st := &pipeline.Stats{}
+	rDram := Energy(p, st, CacheCounts{DRAM: 100})
+	rL1 := Energy(p, st, CacheCounts{L1D: 100})
+	if rDram.Memory <= 10*rL1.Memory {
+		t.Error("DRAM accesses must cost far more than L1 hits")
+	}
+}
+
+func TestFewerUopsMeansLessEnergy(t *testing.T) {
+	// The core SCC energy story: a run that commits fewer uops through
+	// the back end burns less energy, even after paying for the unit.
+	p := DefaultParams()
+	baseline := &pipeline.Stats{
+		Cycles: 10000, IssuedUops: 10000, RenamedUops: 10000,
+		IntOps: 7000, Loads: 2000, Stores: 1000,
+		UopsFromUnopt: 10000, BPLookups: 1500, VPTrains: 8000,
+	}
+	sccRun := &pipeline.Stats{
+		Cycles: 9300, IssuedUops: 8000, RenamedUops: 8000,
+		IntOps: 5400, Loads: 2000, Stores: 1000,
+		UopsFromOpt: 8000, BPLookups: 900, VPTrains: 6500,
+		SCCALUOps: 300, SCCRCTReads: 900, SCCRCTWrites: 400,
+		SCCVPProbes: 500, SCCBPProbes: 120, SCCUopsWritten: 600,
+		LiveOutsInlined: 800,
+	}
+	mem := CacheCounts{L1D: 3000, L2: 200, L3: 40, DRAM: 5}
+	rb := Energy(p, baseline, mem)
+	rs := Energy(p, sccRun, mem)
+	if rs.Total() >= rb.Total() {
+		t.Errorf("SCC run should save energy: %v vs %v J", rs.Total(), rb.Total())
+	}
+	if rs.SCCUnit <= 0 {
+		t.Error("SCC unit energy must be charged")
+	}
+}
+
+func TestAreaOverheadMatchesPaperBand(t *testing.T) {
+	a := DefaultAreaParams()
+	ov := a.SCCAreaOverhead()
+	// The paper reports 1.5 %; the model must land in a tight band.
+	if ov < 0.012 || ov > 0.018 {
+		t.Errorf("SCC area overhead = %.2f%%, want ~1.5%%", ov*100)
+	}
+}
+
+func TestPeakPowerOverheadMatchesPaperBand(t *testing.T) {
+	ov := SCCPeakPowerOverhead(DefaultParams())
+	// The paper reports 0.62 %.
+	if ov < 0.004 || ov > 0.009 {
+		t.Errorf("SCC peak power overhead = %.2f%%, want ~0.62%%", ov*100)
+	}
+}
+
+func TestReportBreakdownSums(t *testing.T) {
+	r := Report{FrontEnd: 1, SCCUnit: 2, BackEnd: 3, Memory: 4, Leakage: 5}
+	if r.Total() != 15 {
+		t.Errorf("Total = %v", r.Total())
+	}
+}

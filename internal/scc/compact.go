@@ -1,0 +1,686 @@
+package scc
+
+import (
+	"sccsim/internal/isa"
+	"sccsim/internal/uop"
+	"sccsim/internal/uopcache"
+)
+
+// Config controls the speculative transformations.
+type Config struct {
+	// VPConfThreshold is the minimum value-predictor confidence to accept
+	// a speculative data invariant (the artifact's
+	// predictionConfidenceThreshold, 5 for SCC runs).
+	VPConfThreshold int
+	// BPConfThreshold is the minimum branch-predictor confidence to accept
+	// a speculative control invariant.
+	BPConfThreshold int
+	// MaxDataInv and MaxCtrlInv bound invariants per compacted stream;
+	// §III observes 32-byte regions rarely need more than 4 and 2.
+	MaxDataInv int
+	MaxCtrlInv int
+	// MaxBranches is the branch-encounter stopping condition: compaction
+	// stops when more than this many branches occur in the walk (§III).
+	MaxBranches int
+	// WriteBufferSlots is the write-buffer capacity in fused slots (18).
+	WriteBufferSlots int
+	// ConstWidthBits restricts propagated/inlined constants (Figure 11).
+	ConstWidthBits int
+	// MinShrinkage is the compaction threshold: streams that eliminate
+	// fewer fused slots are discarded rather than committed (§III).
+	MinShrinkage int
+	// RequestQueueDepth sizes the compaction request queue (6, §III).
+	RequestQueueDepth int
+
+	// Optimization-level switches matching the artifact's experiment
+	// ladder (baseline → move elim → +fold/prop → +branch fold → full).
+	EnableMoveElim   bool
+	EnableFoldProp   bool
+	EnableBranchFold bool
+	EnableControlInv bool
+
+	// Future-work extensions (§III invites both): EnableFPFold widens the
+	// RCT to the floating-point file and lets the unit fold FP arithmetic
+	// and conversions; EnableComplexFold adds multiply/divide to the
+	// front-end ALU repertoire. Both default off (paper configuration).
+	EnableFPFold      bool
+	EnableComplexFold bool
+}
+
+// DefaultConfig returns the full-SCC configuration used for the paper's
+// headline results.
+func DefaultConfig() Config {
+	return Config{
+		VPConfThreshold:   5,
+		BPConfThreshold:   12,
+		MaxDataInv:        4,
+		MaxCtrlInv:        2,
+		MaxBranches:       2,
+		WriteBufferSlots:  uopcache.MaxLineSlots,
+		ConstWidthBits:    64,
+		MinShrinkage:      1,
+		RequestQueueDepth: 6,
+		EnableMoveElim:    true,
+		EnableFoldProp:    true,
+		EnableBranchFold:  true,
+		EnableControlInv:  true,
+	}
+}
+
+// Level names the artifact's optimization ladder for Figure 6.
+type Level int
+
+// Optimization levels, cumulative.
+const (
+	LevelBaseline    Level = iota // no SCC unit
+	LevelPartitioned              // partitioned uop cache, unit disabled
+	LevelMoveElim                 // speculative move elimination only
+	LevelFoldProp                 // + constant folding and propagation
+	LevelBranchFold               // + branch folding
+	LevelFull                     // + control invariants (cross-block)
+)
+
+// String returns the level's display name.
+func (l Level) String() string {
+	switch l {
+	case LevelBaseline:
+		return "baseline"
+	case LevelPartitioned:
+		return "partitioned"
+	case LevelMoveElim:
+		return "move-elim"
+	case LevelFoldProp:
+		return "fold+prop"
+	case LevelBranchFold:
+		return "branch-fold"
+	case LevelFull:
+		return "full-scc"
+	}
+	return "unknown"
+}
+
+// Levels lists the ladder in order.
+func Levels() []Level {
+	return []Level{LevelBaseline, LevelPartitioned, LevelMoveElim,
+		LevelFoldProp, LevelBranchFold, LevelFull}
+}
+
+// ConfigForLevel derives a Config implementing the given ladder rung.
+func ConfigForLevel(l Level) Config {
+	c := DefaultConfig()
+	c.EnableMoveElim = l >= LevelMoveElim
+	c.EnableFoldProp = l >= LevelFoldProp
+	c.EnableBranchFold = l >= LevelBranchFold
+	c.EnableControlInv = l >= LevelFull
+	return c
+}
+
+// Env supplies the compactor's view of the rest of the front-end.
+type Env struct {
+	// UopsAt returns the decoded micro-op sequence of the macro-op at pc.
+	UopsAt func(pc uint64) ([]uop.UOp, bool)
+	// Resident reports whether the macro-op at pc is resident in the
+	// micro-op cache (stopping condition (b): compaction stops on a
+	// micro-op cache miss).
+	Resident func(pc uint64) bool
+	// ProbeValue is the value-predictor probe (read-only).
+	ProbeValue func(key uint64) (value int64, conf int, ok bool)
+	// ProbeBranch is the branch-predictor probe (read-only).
+	ProbeBranch func(pc uint64, condBranch bool, directTarget uint64, isRet bool) (taken bool, target uint64, conf int)
+}
+
+// AbortReason says why a compaction attempt produced no line.
+type AbortReason int
+
+// Abort reasons.
+const (
+	AbortNone          AbortReason = iota
+	AbortSelfLoop                  // self-looping cracked sequence (repmov)
+	AbortSelfModifying             // store targeting the region under optimization
+	AbortNoShrinkage               // compaction threshold not met; buffer discarded
+	AbortWriteBuffer               // nothing accumulated (immediate miss)
+)
+
+// String names the abort reason.
+func (a AbortReason) String() string {
+	switch a {
+	case AbortNone:
+		return "none"
+	case AbortSelfLoop:
+		return "self-loop"
+	case AbortSelfModifying:
+		return "self-modifying"
+	case AbortNoShrinkage:
+		return "no-shrinkage"
+	case AbortWriteBuffer:
+		return "empty"
+	}
+	return "?"
+}
+
+// Result is the outcome of one compaction job.
+type Result struct {
+	Line   *uopcache.Line // nil when aborted/discarded
+	Abort  AbortReason
+	Cycles int // cycles the unit was busy (one micro-op per cycle)
+
+	// Category counters (Figure 6's per-optimization breakdown).
+	ElimMove    int // register-immediate moves eliminated
+	ElimFold    int // micro-ops removed by constant folding
+	ElimBranch  int // branches folded away
+	Propagated  int // register→immediate operand rewrites
+	DataInvUsed int
+	CtrlInvUsed int
+	OrigSlots   int
+	OutSlots    int
+	OrigUops    int
+	// RCT access counts for the energy model.
+	RCTReads  uint64
+	RCTWrites uint64
+}
+
+// VPKey derives the value-predictor key of a micro-op: cracked uops from
+// the same macro predict independently.
+func VPKey(u *uop.UOp) uint64 { return u.MacroPC<<3 | uint64(u.SeqNum&7) }
+
+// compactor holds the walk state for one job.
+type compactor struct {
+	cfg Config
+	env Env
+	rct RCT
+
+	out       []uop.UOp
+	outSlots  int
+	origSlots int
+	origUops  int
+
+	dataInv []uopcache.DataInvariant
+	ctrlInv []uopcache.CtrlInvariant
+
+	branches int
+	cycles   int
+	res      Result
+
+	// keyOcc counts dynamic occurrences of each VP key along the walk so
+	// invariants bind to a specific occurrence (wrapped loops revisit the
+	// same static uop).
+	keyOcc map[uint64]int
+	curOcc int
+
+	pendingAbort       AbortReason
+	unconsumedBranchPC uint64
+	finishEndPC        uint64
+
+	// identity of the previously emitted uop for fusion repair
+	lastEmitted struct {
+		pc  uint64
+		seq uint8
+		ok  bool
+	}
+}
+
+// Compact runs one full compaction job starting at entryPC and returns the
+// result. The walk processes one micro-op per cycle; Result.Cycles reports
+// the occupancy for the unit's busy accounting.
+func Compact(cfg Config, env Env, entryPC uint64) Result {
+	c := &compactor{cfg: cfg, env: env, keyOcc: make(map[uint64]int)}
+	c.rct.TrackFP = cfg.EnableFPFold
+	c.walk(entryPC)
+	c.finish(entryPC)
+	return c.res
+}
+
+func (c *compactor) fits(v int64) bool { return FitsWidth(v, c.cfg.ConstWidthBits) }
+
+// evalALU evaluates an integer function on the front-end ALU, honouring the
+// complex-op extension (multiply/divide) when enabled.
+func (c *compactor) evalALU(fn isa.AluFn, a, b int64) (int64, bool) {
+	if v, ok := EvalFrontEndALU(fn, a, b); ok {
+		return v, true
+	}
+	if c.cfg.EnableComplexFold && (fn == isa.FnMul || fn == isa.FnDiv) {
+		return isa.EvalAlu(fn, a, b), true
+	}
+	return 0, false
+}
+
+// emit appends a (possibly transformed) uop to the write buffer, repairing
+// fusion flags when a fused partner was eliminated.
+func (c *compactor) emit(u uop.UOp) {
+	if u.FusedWithPrev {
+		if !(c.lastEmitted.ok && c.lastEmitted.pc == u.MacroPC && c.lastEmitted.seq == u.SeqNum-1) {
+			u.FusedWithPrev = false
+		}
+	}
+	c.out = append(c.out, u)
+	c.outSlots = uop.SlotCount(c.out)
+	c.lastEmitted.pc = u.MacroPC
+	c.lastEmitted.seq = u.SeqNum
+	c.lastEmitted.ok = true
+}
+
+// srcVal resolves a uop source operand against the RCT / immediate forms.
+func (c *compactor) srcVal(u *uop.UOp, which int) (int64, bool) {
+	var r isa.Reg
+	var isImm bool
+	var imm int64
+	if which == 1 {
+		r, isImm, imm = u.Src1, u.Src1Imm, u.Imm1
+	} else {
+		r, isImm, imm = u.Src2, u.Src2Imm, u.Imm2
+	}
+	if isImm {
+		return imm, true
+	}
+	if r == isa.RegNone {
+		return 0, true // absent operand contributes zero
+	}
+	return c.rct.Get(r) // FP registers resolve only under EnableFPFold
+}
+
+// probeDataInvariant tries to establish a speculative data invariant for
+// the output of u. On success the uop becomes a prediction source.
+func (c *compactor) probeDataInvariant(u *uop.UOp) bool {
+	if len(c.dataInv) >= c.cfg.MaxDataInv || c.env.ProbeValue == nil {
+		return false
+	}
+	if !u.HasDst() {
+		return false
+	}
+	if u.Dst.IsFP() && !c.cfg.EnableFPFold {
+		return false
+	}
+	// Only the first dynamic occurrence of a micro-op may become a
+	// prediction source: the predictor maintains a single history (§III)
+	// and can only describe its *current* state — it cannot say what it
+	// would predict for a later occurrence inside the same wrapped walk.
+	if c.curOcc > 0 {
+		return false
+	}
+	key := VPKey(u)
+	v, conf, ok := c.env.ProbeValue(key)
+	if !ok || conf < c.cfg.VPConfThreshold {
+		return false
+	}
+	if conf > uopcache.ConfMax {
+		conf = uopcache.ConfMax
+	}
+	c.dataInv = append(c.dataInv, uopcache.DataInvariant{
+		Key: key, PC: u.MacroPC, Value: v, Conf: conf, Occ: c.curOcc,
+	})
+	u.PredSource = true
+	u.InvariantIdx = int8(len(c.dataInv) - 1)
+	c.rct.Set(u.Dst, v, false) // materialized by the retained uop
+	c.res.DataInvUsed++
+	return true
+}
+
+// propagate rewrites known register sources of u into immediate form.
+func (c *compactor) propagate(u *uop.UOp) {
+	if !c.cfg.EnableFoldProp {
+		return
+	}
+	if u.Src1 != isa.RegNone && !u.Src1Imm && !u.Src1.IsFP() {
+		if v, ok := c.rct.Get(u.Src1); ok && c.fits(v) {
+			u.Src1Imm = true
+			u.Imm1 = v
+			c.res.Propagated++
+		}
+	}
+	if u.Src2 != isa.RegNone && !u.Src2Imm && !u.Src2.IsFP() {
+		if v, ok := c.rct.Get(u.Src2); ok && c.fits(v) {
+			u.Src2Imm = true
+			u.Imm2 = v
+			c.res.Propagated++
+		}
+	}
+}
+
+// walkStatus signals how the per-macro processing ended.
+type walkStatus int
+
+const (
+	wsContinue walkStatus = iota // fall through to the next macro
+	wsPivot                      // control transfer: continue at pivotPC
+	wsStop                       // stream complete
+	wsAbort                      // discard everything
+)
+
+func (c *compactor) walk(entryPC uint64) {
+	pc := entryPC
+	regionOf := isa.RegionStart(entryPC)
+	endPC := entryPC
+
+	for {
+		if c.env.Resident != nil && !c.env.Resident(pc) {
+			break // stopping condition (b): micro-op cache miss
+		}
+		us, ok := c.env.UopsAt(pc)
+		if !ok {
+			break
+		}
+		if c.origSlots+uop.SlotCount(us) > c.cfg.WriteBufferSlots {
+			break // write buffer would overflow
+		}
+		status, pivot, consumed := c.processMacro(us, regionOf)
+		c.origSlots += uop.SlotCount(us[:consumed])
+		c.origUops += consumed
+		if status == wsAbort {
+			c.res.Abort = c.abortReason()
+			c.res.Cycles = c.cycles
+			c.out = nil
+			return
+		}
+		endPC = us[0].MacroPC + uint64(us[0].MacroLen)
+		if status == wsStop {
+			break
+		}
+		if status == wsPivot {
+			pc = pivot
+			endPC = pivot
+			// Pivots may cross into another resident region (§IV's
+			// cross-basic-block optimization); sequential walking below
+			// is still bounded by the current region.
+			regionOf = isa.RegionStart(pc)
+			continue
+		}
+		next := endPC
+		if isa.RegionStart(next) != regionOf {
+			break // stopping condition (a): end of the 32-byte region
+		}
+		pc = next
+	}
+	c.res.Cycles = c.cycles
+	c.finishEndPC = endPC
+}
+
+// abortReason is set by processMacro via pendingAbort.
+func (c *compactor) abortReason() AbortReason { return c.pendingAbort }
+
+// processMacro handles one macro-op's uops; returns the walk status and the
+// pivot target when status is wsPivot.
+func (c *compactor) processMacro(us []uop.UOp, regionOf uint64) (status walkStatus, pivot uint64, consumed int) {
+	for i := range us {
+		c.cycles++ // one micro-op per cycle (§III)
+		u := us[i] // value copy; safe to transform
+		k := VPKey(&u)
+		c.curOcc = c.keyOcc[k]
+		c.keyOcc[k]++
+
+		if u.SelfLoop {
+			c.pendingAbort = AbortSelfLoop
+			return wsAbort, 0, i
+		}
+
+		switch u.Kind {
+		case uop.KNop:
+			if c.cfg.EnableMoveElim {
+				c.res.ElimMove++
+				continue
+			}
+			c.emit(u)
+
+		case uop.KHalt:
+			c.emit(u)
+			return wsStop, 0, i + 1
+
+		case uop.KMovImm:
+			// Speculative move elimination: the register-immediate move
+			// disappears; its value lives in the RCT until inlined.
+			if c.cfg.EnableMoveElim && !u.Dst.IsFP() && c.fits(u.Imm) {
+				c.rct.Set(u.Dst, u.Imm, true)
+				c.res.ElimMove++
+				continue
+			}
+			if !u.Dst.IsFP() {
+				c.rct.Set(u.Dst, u.Imm, false)
+			}
+			c.emit(u)
+
+		case uop.KMov:
+			if u.Dst.IsFP() || u.Src1.IsFP() {
+				c.emit(u)
+				continue
+			}
+			if v, ok := c.rct.Get(u.Src1); ok {
+				if c.cfg.EnableMoveElim && c.fits(v) {
+					c.rct.Set(u.Dst, v, true)
+					c.res.ElimMove++
+					continue
+				}
+				c.rct.Set(u.Dst, v, false)
+				c.emit(u)
+				continue
+			}
+			c.rct.Invalidate(u.Dst)
+			c.emit(u)
+
+		case uop.KAlu:
+			v1, ok1 := c.srcVal(&u, 1)
+			v2, ok2 := c.srcVal(&u, 2)
+			if ok1 && ok2 && c.cfg.EnableFoldProp {
+				if v, evalOK := c.evalALU(u.Fn, v1, v2); evalOK && c.fits(v) {
+					// Speculative constant folding: the micro-op is dead.
+					c.rct.Set(u.Dst, v, true)
+					c.res.ElimFold++
+					continue
+				}
+			}
+			if ok1 && ok2 {
+				if v, evalOK := c.evalALU(u.Fn, v1, v2); evalOK {
+					// Evaluable but not eliminable (width/disabled): the
+					// retained uop materializes a known value.
+					c.propagate(&u)
+					c.rct.Set(u.Dst, v, false)
+					c.emit(u)
+					continue
+				}
+			}
+			if ok1 && ok2 {
+				// Known operands but an ALU-unevaluable function
+				// (mul/div): propagate the constants, keep the uop.
+				c.propagate(&u)
+				c.rct.Invalidate(u.Dst)
+				c.emit(u)
+				continue
+			}
+			if ok1 != ok2 {
+				// Speculative constant propagation: partial knowledge is
+				// encoded into the immediate field.
+				c.propagate(&u)
+				c.rct.Invalidate(u.Dst)
+				c.emit(u)
+				continue
+			}
+			// No live values: try to identify a data invariant (§IV),
+			// but never for complex integer ops the ALU cannot validate
+			// cheaply... (prediction itself is allowed; the paper
+			// restricts the *ALU*, and prediction sources execute in the
+			// back end, so mul/div outputs may still be predicted).
+			if !c.probeDataInvariant(&u) {
+				c.rct.Invalidate(u.Dst)
+			}
+			c.emit(u)
+
+		case uop.KFp:
+			if c.cfg.EnableFPFold {
+				// Future-work extension: fold FP arithmetic whose inputs
+				// are speculatively known (as raw bit patterns).
+				v1, ok1 := c.srcVal(&u, 1)
+				v2, ok2 := c.srcVal(&u, 2)
+				if ok1 && ok2 {
+					if v, evalOK := EvalFrontEndFP(u.Fn, v1, v2); evalOK && c.fits(v) {
+						c.rct.Set(u.Dst, v, true)
+						c.res.ElimFold++
+						continue
+					}
+				}
+				if !c.probeDataInvariant(&u) {
+					c.rct.Invalidate(u.Dst)
+				}
+				c.emit(u)
+				continue
+			}
+			// Floating point is not optimized (§III).
+			c.emit(u)
+
+		case uop.KLoad:
+			// Loads are the prime data-invariant source (§IV).
+			if !c.probeDataInvariant(&u) {
+				c.rct.Invalidate(u.Dst)
+			}
+			c.propagate(&u) // base-address propagation
+			c.emit(u)
+
+		case uop.KStore:
+			// Self-modifying-code check: a store whose address manifests
+			// as a speculative data invariant and falls in the region
+			// being optimized aborts compaction (§III).
+			if v, ok := c.srcVal(&u, 1); ok {
+				addr := uint64(v + u.Imm)
+				if isa.RegionStart(addr) == regionOf {
+					c.pendingAbort = AbortSelfModifying
+					return wsAbort, 0, i
+				}
+			}
+			c.propagate(&u)
+			c.emit(u)
+
+		case uop.KBranch:
+			c.branches++
+			if c.branches > c.cfg.MaxBranches {
+				// Stopping condition (c): too many branches. The branch
+				// is not consumed; fetch resumes at its macro.
+				c.unconsumedBranchPC = u.MacroPC
+				return wsStop, 0, i
+			}
+			if cc, ok := c.rct.Get(isa.RegCC); ok && c.cfg.EnableBranchFold {
+				// Speculative branch folding: direction deducible.
+				taken := isa.CondHolds(u.Cond, cc)
+				c.res.ElimBranch++
+				if taken {
+					return wsPivot, u.Target, i + 1
+				}
+				if i == len(us)-1 {
+					return wsContinue, 0, i + 1
+				}
+				continue
+			}
+			if c.cfg.EnableControlInv && len(c.ctrlInv) < c.cfg.MaxCtrlInv && c.env.ProbeBranch != nil {
+				taken, tgt, conf := c.env.ProbeBranch(u.MacroPC, true, u.Target, false)
+				if conf >= c.cfg.BPConfThreshold && (!taken || tgt != 0) {
+					// Speculative control invariant: branch retained as a
+					// prediction source; walk pivots to the predicted path.
+					u.PredSource = true
+					u.InvariantIdx = int8(c.cfg.MaxDataInv + len(c.ctrlInv))
+					c.ctrlInv = append(c.ctrlInv, uopcache.CtrlInvariant{
+						PC: u.MacroPC, Taken: taken, Target: tgt,
+						Conf: min(conf, uopcache.ConfMax),
+					})
+					c.res.CtrlInvUsed++
+					c.emit(u)
+					if taken {
+						return wsPivot, tgt, i + 1
+					}
+					if i == len(us)-1 {
+						return wsContinue, 0, i + 1
+					}
+					continue
+				}
+			}
+			// Unresolvable branch ends the stream.
+			c.emit(u)
+			return wsStop, 0, i + 1
+
+		case uop.KJump:
+			c.branches++
+			if c.branches > c.cfg.MaxBranches {
+				c.unconsumedBranchPC = u.MacroPC
+				return wsStop, 0, i
+			}
+			if c.cfg.EnableBranchFold {
+				// Direct jumps always fold.
+				c.res.ElimBranch++
+				return wsPivot, u.Target, i + 1
+			}
+			c.emit(u)
+			return wsStop, 0, i + 1
+
+		case uop.KJumpReg:
+			c.branches++
+			if c.branches > c.cfg.MaxBranches {
+				c.unconsumedBranchPC = u.MacroPC
+				return wsStop, 0, i
+			}
+			if v, ok := c.srcVal(&u, 1); ok && c.cfg.EnableBranchFold {
+				c.res.ElimBranch++
+				return wsPivot, uint64(v), i + 1
+			}
+			if c.cfg.EnableControlInv && len(c.ctrlInv) < c.cfg.MaxCtrlInv && c.env.ProbeBranch != nil {
+				isRet := u.Src1 == isa.LR
+				taken, tgt, conf := c.env.ProbeBranch(u.MacroPC, false, 0, isRet)
+				if taken && tgt != 0 && conf >= c.cfg.BPConfThreshold {
+					u.PredSource = true
+					u.InvariantIdx = int8(c.cfg.MaxDataInv + len(c.ctrlInv))
+					c.ctrlInv = append(c.ctrlInv, uopcache.CtrlInvariant{
+						PC: u.MacroPC, Taken: true, Target: tgt,
+						Conf: min(conf, uopcache.ConfMax),
+					})
+					c.res.CtrlInvUsed++
+					c.emit(u)
+					return wsPivot, tgt, i + 1
+				}
+			}
+			c.emit(u)
+			return wsStop, 0, i + 1
+
+		default:
+			c.emit(u)
+		}
+	}
+	return wsContinue, 0, len(us)
+}
+
+// finish builds the committed line (or records the discard).
+func (c *compactor) finish(entryPC uint64) {
+	c.res.RCTReads = c.rct.Reads
+	c.res.RCTWrites = c.rct.Writes
+	if c.res.Abort != AbortNone {
+		return
+	}
+	c.res.OrigSlots = c.origSlots
+	c.res.OutSlots = c.outSlots
+	c.res.OrigUops = c.origUops
+	if len(c.out) == 0 && c.origSlots == 0 {
+		c.res.Abort = AbortWriteBuffer
+		return
+	}
+	shrink := c.origSlots - c.outSlots
+	if shrink < c.cfg.MinShrinkage {
+		// Compaction threshold not reached: discard the write buffer.
+		c.res.Abort = AbortNoShrinkage
+		return
+	}
+	meta := &uopcache.CompactMeta{
+		DataInv:    c.dataInv,
+		CtrlInv:    c.ctrlInv,
+		OrigSlots:  c.origSlots,
+		OrigUops:   c.origUops,
+		EndPC:      c.endPCForLine(),
+		ElimMove:   c.res.ElimMove,
+		ElimFold:   c.res.ElimFold,
+		ElimBranch: c.res.ElimBranch,
+		Propagated: c.res.Propagated,
+	}
+	for _, lo := range c.rct.LiveOuts() {
+		meta.LiveOuts = append(meta.LiveOuts, uopcache.LiveOut{Reg: lo.Reg, Value: lo.Value})
+	}
+	c.res.Line = uopcache.NewLine(entryPC, c.out, meta)
+}
+
+func (c *compactor) endPCForLine() uint64 {
+	if c.unconsumedBranchPC != 0 {
+		return c.unconsumedBranchPC
+	}
+	return c.finishEndPC
+}

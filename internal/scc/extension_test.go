@@ -1,0 +1,259 @@
+package scc
+
+// Tests for the future-work extensions §III invites: floating-point
+// compaction (EnableFPFold) and complex-integer folding (EnableComplexFold).
+
+import (
+	"math"
+	"testing"
+
+	"sccsim/internal/asm"
+	"sccsim/internal/emu"
+	"sccsim/internal/isa"
+	"sccsim/internal/uop"
+)
+
+func TestExtensionComplexFoldDisabledByDefault(t *testing.T) {
+	p := asm.MustAssemble(`
+		.align 32
+	start:
+		movi r1, 6
+		movi r2, 7
+		mul  r3, r1, r2
+		halt
+	`)
+	res := Compact(DefaultConfig(), testEnv(p, nil, nil), p.Labels["start"])
+	if res.Line == nil {
+		t.Fatalf("no line: %v", res.Abort)
+	}
+	for i := range res.Line.Uops {
+		if res.Line.Uops[i].Fn == isa.FnMul {
+			return // mul retained, as the paper requires
+		}
+	}
+	t.Error("mul was folded without the complex-fold extension")
+}
+
+func TestExtensionComplexFold(t *testing.T) {
+	p := asm.MustAssemble(`
+		.align 32
+	start:
+		movi r1, 6
+		movi r2, 7
+		mul  r3, r1, r2
+		div  r4, r3, r1
+		halt
+	`)
+	cfg := DefaultConfig()
+	cfg.EnableComplexFold = true
+	res := Compact(cfg, testEnv(p, nil, nil), p.Labels["start"])
+	if res.Line == nil {
+		t.Fatalf("no line: %v", res.Abort)
+	}
+	if res.ElimFold != 2 {
+		t.Errorf("folds = %d, want 2 (mul and div)", res.ElimFold)
+	}
+	want := map[isa.Reg]int64{isa.R3: 42, isa.R4: 7}
+	found := 0
+	for _, lo := range res.Line.Meta.LiveOuts {
+		if v, ok := want[lo.Reg]; ok {
+			if lo.Value != v {
+				t.Errorf("%s live-out = %d, want %d", lo.Reg, lo.Value, v)
+			}
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("live-outs = %v", res.Line.Meta.LiveOuts)
+	}
+	assertEquivalent(t, p, res.Line, 100)
+}
+
+func TestExtensionFPFoldDisabledByDefault(t *testing.T) {
+	p := asm.MustAssemble(`
+		.align 32
+	start:
+		movi r1, 2
+		cvtif f1, r1
+		fadd f2, f1, f1
+		halt
+	`)
+	res := Compact(DefaultConfig(), testEnv(p, nil, nil), p.Labels["start"])
+	if res.Line == nil {
+		t.Fatalf("no line: %v", res.Abort)
+	}
+	fp := 0
+	for i := range res.Line.Uops {
+		if res.Line.Uops[i].Kind == uop.KFp {
+			fp++
+		}
+	}
+	if fp != 2 {
+		t.Errorf("FP uops retained = %d, want 2 (paper config forgoes FP)", fp)
+	}
+}
+
+func TestExtensionFPFold(t *testing.T) {
+	p := asm.MustAssemble(`
+		.align 32
+	start:
+		movi r1, 2
+		movi r2, 3
+		cvtif f1, r1
+		cvtif f2, r2
+		fadd f3, f1, f2     ; 5.0
+		fmul f4, f3, f1     ; 10.0
+		fdiv f5, f4, f2     ; 10/3
+		cvtfi r3, f4        ; 10
+		halt
+	`)
+	cfg := DefaultConfig()
+	cfg.EnableFPFold = true
+	res := Compact(cfg, testEnv(p, nil, nil), p.Labels["start"])
+	if res.Line == nil {
+		t.Fatalf("no line: %v", res.Abort)
+	}
+	// Everything folds: only halt survives.
+	if res.Line.Slots != 1 {
+		t.Errorf("slots = %d, want 1", res.Line.Slots)
+	}
+	var f4, r3 int64
+	var haveF4, haveR3 bool
+	for _, lo := range res.Line.Meta.LiveOuts {
+		switch lo.Reg {
+		case isa.F4:
+			f4, haveF4 = lo.Value, true
+		case isa.R3:
+			r3, haveR3 = lo.Value, true
+		}
+	}
+	if !haveF4 || math.Float64frombits(uint64(f4)) != 10.0 {
+		t.Errorf("f4 live-out = %v (bits %d)", math.Float64frombits(uint64(f4)), f4)
+	}
+	if !haveR3 || r3 != 10 {
+		t.Errorf("r3 live-out = %d, want 10", r3)
+	}
+	// Golden-model equivalence including FP state.
+	golden := emu.New(p)
+	golden.Run(1 << 20)
+	if golden.St.GetF(isa.F5) != 10.0/3.0 {
+		t.Fatalf("golden f5 = %v", golden.St.GetF(isa.F5))
+	}
+	for _, lo := range res.Line.Meta.LiveOuts {
+		if got, want := lo.Value, golden.St.Get(lo.Reg); got != want {
+			t.Errorf("%s live-out = %d, golden %d", lo.Reg, got, want)
+		}
+	}
+}
+
+func TestExtensionFPLoadInvariant(t *testing.T) {
+	// With the extension, a predictable FP load becomes a prediction
+	// source and dependent FP arithmetic folds against it.
+	p := asm.MustAssemble(`
+		.data 0x100000
+	v:	.word 0x4010000000000000   ; 4.0 as raw float64 bits
+		.text
+		.align 32
+	start:
+		movi r9, 0x100000
+		fld  f1, [r9+0]
+		fadd f2, f1, f1
+		halt
+	`)
+	fldPC := p.Insts[1].Addr
+	four := int64(0x4010000000000000)
+	vals := map[uint64]struct {
+		V    int64
+		Conf int
+	}{fldPC << 3: {V: four, Conf: 12}}
+	cfg := DefaultConfig()
+	cfg.EnableFPFold = true
+	res := Compact(cfg, testEnv(p, vals, nil), p.Labels["start"])
+	if res.Line == nil {
+		t.Fatalf("no line: %v", res.Abort)
+	}
+	if res.DataInvUsed != 1 {
+		t.Fatalf("FP data invariants = %d, want 1", res.DataInvUsed)
+	}
+	if res.ElimFold < 1 {
+		t.Error("dependent fadd should fold against the FP invariant")
+	}
+	got := false
+	for _, lo := range res.Line.Meta.LiveOuts {
+		if lo.Reg == isa.F2 && math.Float64frombits(uint64(lo.Value)) == 8.0 {
+			got = true
+		}
+	}
+	if !got {
+		t.Errorf("live-outs = %v, want f2 = 8.0", res.Line.Meta.LiveOuts)
+	}
+}
+
+func TestEvalFrontEndFP(t *testing.T) {
+	bits := func(f float64) int64 { return int64(math.Float64bits(f)) }
+	cases := []struct {
+		fn   isa.AluFn
+		a, b int64
+		want float64
+	}{
+		{isa.FnAdd, bits(1.5), bits(2.5), 4.0},
+		{isa.FnSub, bits(5), bits(2), 3.0},
+		{isa.FnMul, bits(3), bits(4), 12.0},
+		{isa.FnDiv, bits(9), bits(3), 3.0},
+		{isa.FnDiv, bits(9), bits(0), 0.0},
+	}
+	for _, c := range cases {
+		v, ok := EvalFrontEndFP(c.fn, c.a, c.b)
+		if !ok || math.Float64frombits(uint64(v)) != c.want {
+			t.Errorf("EvalFrontEndFP(%v) = %v, %v", c.fn, math.Float64frombits(uint64(v)), ok)
+		}
+	}
+	if v, ok := EvalFrontEndFP(isa.FnCvtIF, 7, 0); !ok || math.Float64frombits(uint64(v)) != 7.0 {
+		t.Error("cvtif wrong")
+	}
+	if v, ok := EvalFrontEndFP(isa.FnCvtFI, bits(7.9), 0); !ok || v != 7 {
+		t.Errorf("cvtfi = %d", v)
+	}
+	if _, ok := EvalFrontEndFP(isa.FnAnd, 0, 0); ok {
+		t.Error("non-FP fn must be rejected")
+	}
+}
+
+func TestExtensionEndToEndOnFPKernel(t *testing.T) {
+	// An FP-heavy loop with integer-known inputs: the extension must
+	// unlock folding the paper's configuration cannot touch.
+	p := asm.MustAssemble(`
+		.align 32
+	start:
+		movi r1, 3
+		cvtif f1, r1
+		fmul f2, f1, f1
+		fadd f3, f2, f1
+		cvtfi r2, f3
+		halt
+	`)
+	base := Compact(DefaultConfig(), testEnv(p, nil, nil), p.Labels["start"])
+	cfg := DefaultConfig()
+	cfg.EnableFPFold = true
+	ext := Compact(cfg, testEnv(p, nil, nil), p.Labels["start"])
+	if ext.Line == nil {
+		t.Fatalf("extension produced no line: %v", ext.Abort)
+	}
+	baseSlots := 99
+	if base.Line != nil {
+		baseSlots = base.Line.Slots
+	}
+	if ext.Line.Slots >= baseSlots {
+		t.Errorf("extension slots %d, paper-config slots %d — no extra folding", ext.Line.Slots, baseSlots)
+	}
+	// 3*3+3 = 12 must appear as r2's live-out.
+	found := false
+	for _, lo := range ext.Line.Meta.LiveOuts {
+		if lo.Reg == isa.R2 && lo.Value == 12 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("live-outs = %v, want r2=12", ext.Line.Meta.LiveOuts)
+	}
+}

@@ -1,0 +1,153 @@
+package scc
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sccsim/internal/asm"
+	"sccsim/internal/emu"
+	"sccsim/internal/isa"
+)
+
+// genProgram builds a random straight-line integer program (the SCC unit's
+// optimization domain): immediate moves, reg-reg and reg-imm ALU ops over
+// r0..r7, ending in halt. Deterministic per seed.
+func genProgram(rng *rand.Rand, n int) string {
+	var b strings.Builder
+	b.WriteString("\t.align 32\nstart:\n")
+	reg := func() string { return fmt.Sprintf("r%d", rng.Intn(8)) }
+	ops3 := []string{"add", "sub", "and", "or", "xor"}
+	opsI := []string{"addi", "subi", "andi", "ori", "xori", "shli", "shri"}
+	for i := 0; i < n; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			fmt.Fprintf(&b, "\tmovi %s, %d\n", reg(), rng.Intn(2000)-1000)
+		case 1:
+			fmt.Fprintf(&b, "\tmov  %s, %s\n", reg(), reg())
+		case 2:
+			op := ops3[rng.Intn(len(ops3))]
+			fmt.Fprintf(&b, "\t%s %s, %s, %s\n", op, reg(), reg(), reg())
+		case 3:
+			op := opsI[rng.Intn(len(opsI))]
+			imm := rng.Intn(64)
+			fmt.Fprintf(&b, "\t%s %s, %s, %d\n", op, reg(), reg(), imm)
+		case 4:
+			fmt.Fprintf(&b, "\tmul  %s, %s, %s\n", reg(), reg(), reg())
+		}
+	}
+	b.WriteString("\thalt\n")
+	return b.String()
+}
+
+// TestPropertyCompactionPreservesSemantics is the core soundness property:
+// for random straight-line integer programs, executing the compacted
+// stream and inlining its live-outs produces exactly the architectural
+// state of executing the original program. 200 random programs per run.
+func TestPropertyCompactionPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(20220101))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(6) // fits one 32-byte region comfortably? varies
+		src := genProgram(rng, n)
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		for _, width := range []int{64, 16, 8} {
+			cfg := DefaultConfig()
+			cfg.ConstWidthBits = width
+			cfg.MinShrinkage = 0 // always commit so we can check semantics
+			env := testEnv(prog, nil, nil)
+			res := Compact(cfg, env, prog.Entry)
+			if res.Abort == AbortNoShrinkage || res.Line == nil {
+				continue
+			}
+
+			// Golden: run the original to the line's EndPC.
+			golden := emu.New(prog)
+			for golden.PC() != res.Line.Meta.EndPC && !golden.Halted() {
+				if _, ok := golden.StepUop(); !ok {
+					break
+				}
+			}
+
+			// Compacted: interpret the stream + live-outs.
+			comp := emu.New(prog)
+			execCompacted(t, res.Line, &comp.St, comp.Mem)
+
+			for r := isa.R0; r <= isa.R7; r++ {
+				if a, b := golden.St.Get(r), comp.St.Get(r); a != b {
+					t.Fatalf("trial %d width %d: %s = %d, golden %d\nprogram:\n%s",
+						trial, width, r, b, a, src)
+				}
+			}
+			if a, b := golden.St.Get(isa.RegCC), comp.St.Get(isa.RegCC); a != b {
+				t.Fatalf("trial %d width %d: CC = %d, golden %d\nprogram:\n%s",
+					trial, width, b, a, src)
+			}
+		}
+	}
+}
+
+// TestPropertyCompactionNeverGrows verifies compaction never produces more
+// fused slots than the original sequence, at any width.
+func TestPropertyCompactionNeverGrows(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		src := genProgram(rng, 2+rng.Intn(8))
+		prog := asm.MustAssemble(src)
+		for _, width := range []int{64, 32, 8} {
+			cfg := DefaultConfig()
+			cfg.ConstWidthBits = width
+			cfg.MinShrinkage = 0
+			res := Compact(cfg, testEnv(prog, nil, nil), prog.Entry)
+			if res.Line == nil {
+				continue
+			}
+			if res.Line.Slots > res.OrigSlots {
+				t.Fatalf("trial %d: compacted %d slots > original %d\n%s",
+					trial, res.Line.Slots, res.OrigSlots, src)
+			}
+		}
+	}
+}
+
+// TestPropertyNarrowWidthNeverEliminatesMore: shrinking the constant width
+// can only reduce (never increase) the number of eliminated micro-ops.
+func TestPropertyNarrowWidthNeverEliminatesMore(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		src := genProgram(rng, 2+rng.Intn(8))
+		prog := asm.MustAssemble(src)
+		prev := -1
+		for _, width := range []int{64, 32, 16, 8} {
+			cfg := DefaultConfig()
+			cfg.ConstWidthBits = width
+			cfg.MinShrinkage = 0
+			res := Compact(cfg, testEnv(prog, nil, nil), prog.Entry)
+			elim := res.ElimMove + res.ElimFold + res.ElimBranch
+			if prev >= 0 && elim > prev {
+				t.Fatalf("trial %d: width %d eliminated %d > wider width's %d\n%s",
+					trial, width, elim, prev, src)
+			}
+			prev = elim
+		}
+	}
+}
+
+// TestPropertyCyclesEqualProcessedUops: the unit's busy time is exactly
+// one cycle per processed original micro-op (§III's processing rate).
+func TestPropertyCyclesEqualProcessedUops(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		src := genProgram(rng, 2+rng.Intn(8))
+		prog := asm.MustAssemble(src)
+		cfg := DefaultConfig()
+		cfg.MinShrinkage = 0
+		res := Compact(cfg, testEnv(prog, nil, nil), prog.Entry)
+		if res.Cycles != res.OrigUops && res.Abort == AbortNone {
+			t.Fatalf("trial %d: %d cycles for %d uops\n%s", trial, res.Cycles, res.OrigUops, src)
+		}
+	}
+}

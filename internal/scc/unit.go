@@ -1,0 +1,137 @@
+package scc
+
+import "sccsim/internal/uopcache"
+
+// UnitStats aggregates the unit's lifetime activity.
+type UnitStats struct {
+	Requests       uint64 // compaction requests accepted into the queue
+	Rejected       uint64 // requests dropped (queue full or duplicate)
+	Jobs           uint64 // compaction jobs completed
+	Committed      uint64 // compacted lines committed to the optimized partition
+	Discarded      uint64 // write buffers discarded (below compaction threshold)
+	Aborted        uint64 // aborts (self-loop, self-modifying code)
+	BusyCycles     uint64 // cycles the unit spent processing micro-ops
+	ElimMove       uint64
+	ElimFold       uint64
+	ElimBranch     uint64
+	Propagated     uint64
+	DataInvariants uint64
+	CtrlInvariants uint64
+}
+
+// Unit is the speculative code compaction unit: the request queue plus the
+// (single) compaction engine. The pipeline ticks it once per cycle.
+type Unit struct {
+	Cfg   Config
+	Env   Env
+	Stats UnitStats
+
+	queue     []uint64
+	inQueue   map[uint64]bool
+	busyUntil uint64
+	pending   Result
+	pendingOK bool
+}
+
+// NewUnit builds the unit.
+func NewUnit(cfg Config, env Env) *Unit {
+	return &Unit{Cfg: cfg, Env: env, inQueue: make(map[uint64]bool)}
+}
+
+// Enabled reports whether any speculative transformation is switched on.
+func (u *Unit) Enabled() bool {
+	return u.Cfg.EnableMoveElim || u.Cfg.EnableFoldProp ||
+		u.Cfg.EnableBranchFold || u.Cfg.EnableControlInv
+}
+
+// Request enqueues a compaction request for the hot line entered at pc.
+// It reports whether the request was accepted (§III: the request queue is
+// sized by the fetch width; duplicates and overflow are dropped).
+func (u *Unit) Request(pc uint64) bool {
+	if !u.Enabled() {
+		return false
+	}
+	if u.inQueue[pc] || len(u.queue) >= u.Cfg.RequestQueueDepth {
+		u.Stats.Rejected++
+		return false
+	}
+	u.queue = append(u.queue, pc)
+	u.inQueue[pc] = true
+	u.Stats.Requests++
+	return true
+}
+
+// QueueLen returns the number of waiting requests.
+func (u *Unit) QueueLen() int { return len(u.queue) }
+
+// Busy reports whether a job is in flight at the given cycle.
+func (u *Unit) Busy(now uint64) bool { return u.pendingOK && now < u.busyUntil }
+
+// Tick advances the unit by one cycle. When a job completes it returns the
+// finished Result (with Line non-nil if a compacted stream should be
+// committed); otherwise ok is false.
+func (u *Unit) Tick(now uint64) (Result, bool) {
+	if u.pendingOK {
+		if now < u.busyUntil {
+			return Result{}, false
+		}
+		// Job complete this cycle.
+		res := u.pending
+		u.pendingOK = false
+		u.Stats.Jobs++
+		u.Stats.BusyCycles += uint64(res.Cycles)
+		u.Stats.ElimMove += uint64(res.ElimMove)
+		u.Stats.ElimFold += uint64(res.ElimFold)
+		u.Stats.ElimBranch += uint64(res.ElimBranch)
+		u.Stats.Propagated += uint64(res.Propagated)
+		u.Stats.DataInvariants += uint64(res.DataInvUsed)
+		u.Stats.CtrlInvariants += uint64(res.CtrlInvUsed)
+		switch {
+		case res.Line != nil:
+			u.Stats.Committed++
+		case res.Abort == AbortNoShrinkage || res.Abort == AbortWriteBuffer:
+			u.Stats.Discarded++
+		default:
+			u.Stats.Aborted++
+		}
+		return res, true
+	}
+	if len(u.queue) == 0 {
+		return Result{}, false
+	}
+	// Dispatch the next request (the result is computed eagerly; the
+	// busy-until point models the one-uop-per-cycle walk latency).
+	pc := u.queue[0]
+	u.queue = u.queue[1:]
+	delete(u.inQueue, pc)
+	u.pending = Compact(u.Cfg, u.Env, pc)
+	u.pendingOK = true
+	cyc := u.pending.Cycles
+	if cyc < 1 {
+		cyc = 1
+	}
+	u.busyUntil = now + uint64(cyc)
+	return Result{}, false
+}
+
+// InitialConfidence seeds a committed line's counters: the paper uses
+// aggressive 4-bit counters per invariant, initialized from the predictor
+// confidence observed at optimization time (already stored by Compact).
+// This helper clamps them into range for safety.
+func InitialConfidence(meta *uopcache.CompactMeta) {
+	clamp := func(c int) int {
+		if c < 0 {
+			return 0
+		}
+		if c > uopcache.ConfMax {
+			return uopcache.ConfMax
+		}
+		return c
+	}
+	for i := range meta.DataInv {
+		meta.DataInv[i].Conf = clamp(meta.DataInv[i].Conf)
+	}
+	for i := range meta.CtrlInv {
+		meta.CtrlInv[i].Conf = clamp(meta.CtrlInv[i].Conf)
+	}
+}

@@ -1,0 +1,85 @@
+// Package stats provides the small numeric helpers the experiment harness
+// uses to aggregate per-benchmark results the way the paper does
+// (normalized ratios, means, geometric means).
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean (0 for empty input; non-positive
+// values are clamped to a tiny epsilon to keep ratios meaningful).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			x = 1e-12
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Min and Max return the extremes (0 for empty input).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Ratio returns a/b, guarding division by zero.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Pct formats a fraction as a percentage string.
+func Pct(x float64) string { return fmt.Sprintf("%.1f%%", x*100) }
+
+// Speedup returns baseline/measured (execution-time speedup).
+func Speedup(baselineCycles, cycles uint64) float64 {
+	return Ratio(float64(baselineCycles), float64(cycles))
+}
+
+// Normalized returns measured/baseline (normalized metric, lower=better
+// for time/energy).
+func Normalized(value, baseline float64) float64 { return Ratio(value, baseline) }

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("mean of empty should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Error("geomean of empty should be 0")
+	}
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("geomean(2,8) = %v", got)
+	}
+	if got := GeoMean([]float64{1, 1, 1}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("geomean(1,1,1) = %v", got)
+	}
+	// Non-positive values must not produce NaN.
+	if got := GeoMean([]float64{0, 4}); math.IsNaN(got) {
+		t.Error("geomean with zero produced NaN")
+	}
+}
+
+func TestGeoMeanBetweenMinMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			x = math.Abs(x)
+			if x > 1e-6 && x < 1e6 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := GeoMean(xs)
+		return g >= Min(xs)-1e-9 && g <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("min=%v max=%v", Min(xs), Max(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty extremes should be 0")
+	}
+}
+
+func TestRatioAndSpeedup(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Error("division by zero must yield 0")
+	}
+	if got := Speedup(120, 100); got != 1.2 {
+		t.Errorf("speedup = %v", got)
+	}
+	if got := Normalized(90, 100); got != 0.9 {
+		t.Errorf("normalized = %v", got)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.123); got != "12.3%" {
+		t.Errorf("Pct = %q", got)
+	}
+}

@@ -1,0 +1,51 @@
+package vpred
+
+import "testing"
+
+// Tests for the Stable flag: the property that separates "accurate for the
+// next instance" from "usable as a multi-execution SCC invariant".
+
+func TestStableFlagConstant(t *testing.T) {
+	for _, p := range []Predictor{NewEVES(), NewH3VP(), NewLastValue()} {
+		trainN(p, 11, []int64{42}, 30)
+		pred, ok := p.Predict(11)
+		if !ok {
+			t.Fatalf("%s: no prediction", p.Name())
+		}
+		if !pred.Stable {
+			t.Errorf("%s: constant stream must predict stable", p.Name())
+		}
+	}
+}
+
+func TestEVESStrideNotStable(t *testing.T) {
+	p := NewEVES()
+	v := int64(0)
+	for i := 0; i < 300; i++ {
+		p.Train(5, v)
+		v += 16
+	}
+	pred, ok := p.Predict(5)
+	if !ok {
+		t.Fatal("stride stream must predict")
+	}
+	if pred.Stable {
+		t.Error("nonzero-stride prediction must not be marked stable " +
+			"(it cannot hold across repeated executions of a compacted stream)")
+	}
+}
+
+func TestH3VPOscillationIsStable(t *testing.T) {
+	// Oscillating values ARE usable as invariants: the co-hosted-versions
+	// mechanism keeps one compacted version per value and the fetch-time
+	// predictor-state check picks the matching one.
+	p := NewH3VP()
+	vals := []int64{10, 20}
+	for i := 0; i < 60; i++ {
+		p.Train(9, vals[i%2])
+	}
+	pred, ok := p.Predict(9)
+	if !ok || !pred.Stable {
+		t.Errorf("H3VP periodic prediction should be stable: %+v, %v", pred, ok)
+	}
+}

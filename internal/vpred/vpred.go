@@ -1,0 +1,328 @@
+// Package vpred implements the value prediction substrate: the EVES and
+// H3VP predictors from the 2019 Championship Value Prediction (CVP) that the
+// paper integrates into gem5 (§VI), plus a last-value baseline.
+//
+// The SCC unit probes the value predictor to speculatively identify data
+// invariants: if a micro-op's output is predicted with confidence at or
+// above the configured threshold, the predicted value is recorded in the
+// SCC register context table and the micro-op becomes a prediction source.
+package vpred
+
+// ConfMax is the top of the 4-bit saturating confidence range used
+// throughout (the paper tracks invariant confidence in 4-bit counters).
+const ConfMax = 15
+
+// Prediction is a value predictor response.
+type Prediction struct {
+	Value      int64
+	Confidence int // 0..ConfMax
+	// Stable reports whether the predictor believes this exact value
+	// recurs across executions (zero-stride / context / periodic hits).
+	// A nonzero-stride prediction is accurate for the *next* execution
+	// but useless as an SCC invariant, which must hold across many
+	// executions of the compacted stream; the SCC unit only accepts
+	// stable predictions as data invariants.
+	Stable bool
+}
+
+// Predictor is the interface shared by all value predictors.
+//
+// Keys identify a dynamic value-producing micro-op; the pipeline uses
+// MacroPC*8+SeqNum so cracked uops predict independently.
+type Predictor interface {
+	// Name returns the predictor's short name ("eves", "h3vp", ...).
+	Name() string
+	// Predict returns the predicted output of the uop identified by key.
+	// ok is false when the predictor has no basis for a prediction.
+	// Predict must not modify predictor state (SCC probes are reads).
+	Predict(key uint64) (Prediction, bool)
+	// Train observes the actual produced value.
+	Train(key uint64, actual int64)
+}
+
+// New constructs a predictor by name ("eves", "h3vp", "lastvalue").
+// Unknown names return nil.
+func New(name string) Predictor {
+	switch name {
+	case "eves":
+		return NewEVES()
+	case "h3vp":
+		return NewH3VP()
+	case "lastvalue":
+		return NewLastValue()
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Last-value predictor (baseline).
+
+type lastValueEntry struct {
+	key  uint64
+	last int64
+	conf int8
+}
+
+// LastValue predicts the previously observed value, with a saturating
+// confidence counter per entry. It is the classic baseline predictor.
+type LastValue struct {
+	entries []lastValueEntry
+	mask    uint64
+}
+
+// NewLastValue builds a last-value predictor with 4K entries.
+func NewLastValue() *LastValue { return newLastValueSized(12) }
+
+func newLastValueSized(bits uint) *LastValue {
+	return &LastValue{entries: make([]lastValueEntry, 1<<bits), mask: 1<<bits - 1}
+}
+
+// Name implements Predictor.
+func (p *LastValue) Name() string { return "lastvalue" }
+
+// Predict implements Predictor.
+func (p *LastValue) Predict(key uint64) (Prediction, bool) {
+	e := &p.entries[key&p.mask]
+	if e.key != key || e.conf == 0 {
+		return Prediction{}, false
+	}
+	return Prediction{Value: e.last, Confidence: int(e.conf), Stable: true}, true
+}
+
+// Train implements Predictor.
+func (p *LastValue) Train(key uint64, actual int64) {
+	e := &p.entries[key&p.mask]
+	if e.key != key {
+		*e = lastValueEntry{key: key, last: actual, conf: 1}
+		return
+	}
+	if e.last == actual {
+		if e.conf < ConfMax {
+			e.conf++
+		}
+	} else {
+		e.last = actual
+		e.conf = 0
+	}
+}
+
+// ---------------------------------------------------------------------------
+// EVES: Enhanced VTAGE + Enhanced Stride (Seznec, CVP-2019).
+//
+// This implementation keeps the two-component structure: an enhanced stride
+// component (last value + stride with confidence, probabilistic confidence
+// growth for small strides) and a tagged context component keyed by a hash
+// of recent values. The component with the higher confidence provides the
+// prediction, as in the original chooser.
+
+type strideEntry struct {
+	key    uint64
+	last   int64
+	stride int64
+	conf   int8
+	seen   uint8
+}
+
+type vtageEntry struct {
+	tag   uint16
+	value int64
+	conf  int8
+}
+
+// EVES is the enhanced stride + context value predictor.
+type EVES struct {
+	stride []strideEntry
+	smask  uint64
+	ctx    []vtageEntry
+	cmask  uint64
+	// per-key recent-value history hash for the context component
+	hist  []uint64
+	hmask uint64
+	rng   uint64
+}
+
+// NewEVES builds the predictor with 4K stride entries and 8K context entries.
+func NewEVES() *EVES {
+	return &EVES{
+		stride: make([]strideEntry, 1<<12),
+		smask:  1<<12 - 1,
+		ctx:    make([]vtageEntry, 1<<13),
+		cmask:  1<<13 - 1,
+		hist:   make([]uint64, 1<<10),
+		hmask:  1<<10 - 1,
+		rng:    0x9e3779b97f4a7c15,
+	}
+}
+
+// Name implements Predictor.
+func (p *EVES) Name() string { return "eves" }
+
+func (p *EVES) ctxIndex(key uint64) (uint64, uint16) {
+	h := p.hist[key&p.hmask]
+	x := key*0x9e3779b97f4a7c15 ^ h
+	return (x ^ x>>17) & p.cmask, uint16(x>>48) | 1
+}
+
+// Predict implements Predictor.
+func (p *EVES) Predict(key uint64) (Prediction, bool) {
+	var best Prediction
+	ok := false
+	if e := &p.stride[key&p.smask]; e.key == key && e.seen >= 2 && e.conf > 0 {
+		best = Prediction{Value: e.last + e.stride, Confidence: int(e.conf), Stable: e.stride == 0}
+		ok = true
+	}
+	if i, tag := p.ctxIndex(key); p.ctx[i].tag == tag && p.ctx[i].conf > 0 {
+		if c := int(p.ctx[i].conf); !ok || c > best.Confidence {
+			best = Prediction{Value: p.ctx[i].value, Confidence: c, Stable: true}
+			ok = true
+		}
+	}
+	return best, ok
+}
+
+func (p *EVES) nextRand() uint64 {
+	// xorshift64* — deterministic pseudo-randomness for the probabilistic
+	// confidence growth of the E-Stride component.
+	p.rng ^= p.rng >> 12
+	p.rng ^= p.rng << 25
+	p.rng ^= p.rng >> 27
+	return p.rng * 0x2545f4914f6cdd1d
+}
+
+// Train implements Predictor.
+func (p *EVES) Train(key uint64, actual int64) {
+	// Stride component.
+	e := &p.stride[key&p.smask]
+	if e.key != key {
+		*e = strideEntry{key: key, last: actual, seen: 1}
+	} else {
+		newStride := actual - e.last
+		switch {
+		case e.seen < 2:
+			e.stride = newStride
+			e.seen++
+		case newStride == e.stride:
+			// E-Stride grows confidence probabilistically: fast for zero
+			// strides (constants), slower for large strides, which biases
+			// toward genuinely invariant values.
+			grow := true
+			if e.stride != 0 && e.conf >= 8 {
+				grow = p.nextRand()%4 == 0
+			}
+			if grow && e.conf < ConfMax {
+				e.conf++
+			}
+		default:
+			e.stride = newStride
+			e.conf = 0
+		}
+		e.last = actual
+	}
+	// Context component.
+	i, tag := p.ctxIndex(key)
+	c := &p.ctx[i]
+	if c.tag == tag {
+		if c.value == actual {
+			if c.conf < ConfMax {
+				c.conf++
+			}
+		} else {
+			c.conf -= 2
+			if c.conf <= 0 {
+				c.value = actual
+				c.conf = 1
+			}
+		}
+	} else if c.conf <= 0 {
+		*c = vtageEntry{tag: tag, value: actual, conf: 1}
+	} else {
+		c.conf--
+	}
+	// Advance the per-key value history.
+	h := &p.hist[key&p.hmask]
+	*h = *h<<7 ^ uint64(actual) ^ uint64(actual)>>32
+}
+
+// ---------------------------------------------------------------------------
+// H3VP: a 3-period history-based predictor that captures oscillating
+// patterns (values alternating with period 1, 2 or 3).
+
+type h3vpEntry struct {
+	key     uint64
+	vals    [3]int64 // ring of the last three values, vals[pos] most recent
+	pos     int8
+	filled  int8
+	perConf [3]int8 // confidence that the sequence has period 1, 2, 3
+}
+
+// H3VP is the period-detecting value predictor.
+type H3VP struct {
+	entries []h3vpEntry
+	mask    uint64
+}
+
+// NewH3VP builds the predictor with 4K entries.
+func NewH3VP() *H3VP {
+	return &H3VP{entries: make([]h3vpEntry, 1<<12), mask: 1<<12 - 1}
+}
+
+// Name implements Predictor.
+func (p *H3VP) Name() string { return "h3vp" }
+
+func (e *h3vpEntry) valueAgo(n int8) int64 {
+	// n=1 → most recent value.
+	return e.vals[(e.pos-n+1+6)%3]
+}
+
+// Predict implements Predictor.
+func (p *H3VP) Predict(key uint64) (Prediction, bool) {
+	e := &p.entries[key&p.mask]
+	if e.key != key || e.filled < 1 {
+		return Prediction{}, false
+	}
+	bestPeriod := int8(0)
+	bestConf := int8(0)
+	for per := int8(1); per <= 3; per++ {
+		if e.filled >= per && e.perConf[per-1] > bestConf {
+			bestConf = e.perConf[per-1]
+			bestPeriod = per
+		}
+	}
+	if bestPeriod == 0 || bestConf == 0 {
+		return Prediction{}, false
+	}
+	return Prediction{Value: e.valueAgo(bestPeriod), Confidence: int(bestConf), Stable: true}, true
+}
+
+// Train implements Predictor.
+func (p *H3VP) Train(key uint64, actual int64) {
+	e := &p.entries[key&p.mask]
+	if e.key != key {
+		*e = h3vpEntry{key: key}
+		e.vals[0] = actual
+		e.pos = 0
+		e.filled = 1
+		return
+	}
+	// Score each period hypothesis against the arriving value.
+	for per := int8(1); per <= 3; per++ {
+		if e.filled < per {
+			continue
+		}
+		if e.valueAgo(per) == actual {
+			if e.perConf[per-1] < ConfMax {
+				e.perConf[per-1]++
+			}
+		} else {
+			e.perConf[per-1] -= 3
+			if e.perConf[per-1] < 0 {
+				e.perConf[per-1] = 0
+			}
+		}
+	}
+	e.pos = (e.pos + 1) % 3
+	e.vals[e.pos] = actual
+	if e.filled < 3 {
+		e.filled++
+	}
+}

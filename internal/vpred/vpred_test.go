@@ -1,0 +1,219 @@
+package vpred
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func trainN(p Predictor, key uint64, vals []int64, n int) {
+	for i := 0; i < n; i++ {
+		p.Train(key, vals[i%len(vals)])
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	for _, name := range []string{"eves", "h3vp", "lastvalue"} {
+		p := New(name)
+		if p == nil || p.Name() != name {
+			t.Errorf("New(%q) = %v", name, p)
+		}
+	}
+	if New("bogus") != nil {
+		t.Error("unknown predictor name should return nil")
+	}
+}
+
+func TestLastValueConstant(t *testing.T) {
+	p := NewLastValue()
+	trainN(p, 42, []int64{7}, 20)
+	pred, ok := p.Predict(42)
+	if !ok || pred.Value != 7 {
+		t.Fatalf("Predict = %+v, %v", pred, ok)
+	}
+	if pred.Confidence != ConfMax {
+		t.Errorf("confidence = %d, want saturated", pred.Confidence)
+	}
+}
+
+func TestLastValueChangeResetsConfidence(t *testing.T) {
+	p := NewLastValue()
+	trainN(p, 42, []int64{7}, 20)
+	p.Train(42, 8)
+	if pred, ok := p.Predict(42); ok && pred.Confidence > 0 {
+		t.Errorf("after change, conf = %d", pred.Confidence)
+	}
+}
+
+func TestEVESConstant(t *testing.T) {
+	p := NewEVES()
+	trainN(p, 100, []int64{-5}, 30)
+	pred, ok := p.Predict(100)
+	if !ok || pred.Value != -5 {
+		t.Fatalf("Predict = %+v, %v", pred, ok)
+	}
+	if pred.Confidence < 10 {
+		t.Errorf("constant should reach high confidence, got %d", pred.Confidence)
+	}
+}
+
+func TestEVESStride(t *testing.T) {
+	p := NewEVES()
+	key := uint64(0x1088)
+	v := int64(1000)
+	for i := 0; i < 200; i++ {
+		p.Train(key, v)
+		v += 8
+	}
+	pred, ok := p.Predict(key)
+	if !ok || pred.Value != v {
+		t.Fatalf("stride prediction = %+v (want %d)", pred, v)
+	}
+}
+
+func TestEVESRandomStreamLowConfidence(t *testing.T) {
+	p := NewEVES()
+	key := uint64(7)
+	x := uint64(12345)
+	for i := 0; i < 500; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		p.Train(key, int64(x))
+	}
+	if pred, ok := p.Predict(key); ok && pred.Confidence > 4 {
+		t.Errorf("random stream predicted with conf %d", pred.Confidence)
+	}
+}
+
+func TestEVESPredictIsReadOnly(t *testing.T) {
+	p := NewEVES()
+	trainN(p, 9, []int64{3}, 20)
+	a, _ := p.Predict(9)
+	for i := 0; i < 100; i++ {
+		p.Predict(9)
+	}
+	b, _ := p.Predict(9)
+	if a != b {
+		t.Error("Predict mutated EVES state")
+	}
+}
+
+func TestH3VPConstant(t *testing.T) {
+	p := NewH3VP()
+	trainN(p, 5, []int64{11}, 20)
+	pred, ok := p.Predict(5)
+	if !ok || pred.Value != 11 {
+		t.Fatalf("constant = %+v, %v", pred, ok)
+	}
+}
+
+func TestH3VPPeriod2(t *testing.T) {
+	p := NewH3VP()
+	vals := []int64{10, 20}
+	for i := 0; i < 40; i++ {
+		p.Train(77, vals[i%2])
+	}
+	// Next value in sequence is vals[0] (i=40).
+	pred, ok := p.Predict(77)
+	if !ok || pred.Value != 10 {
+		t.Fatalf("period-2 prediction = %+v (want 10)", pred)
+	}
+	if pred.Confidence < 8 {
+		t.Errorf("oscillating pattern conf = %d, want high", pred.Confidence)
+	}
+}
+
+func TestH3VPPeriod3(t *testing.T) {
+	p := NewH3VP()
+	vals := []int64{1, 2, 3}
+	for i := 0; i < 60; i++ {
+		p.Train(88, vals[i%3])
+	}
+	pred, ok := p.Predict(88)
+	if !ok || pred.Value != 1 {
+		t.Fatalf("period-3 prediction = %+v (want 1)", pred)
+	}
+}
+
+func TestH3VPTracksSequenceAcrossPhase(t *testing.T) {
+	// H3VP is built for oscillation; after the oscillation stops it must
+	// decay and relearn the new constant.
+	p := NewH3VP()
+	vals := []int64{10, 20}
+	for i := 0; i < 40; i++ {
+		p.Train(66, vals[i%2])
+	}
+	for i := 0; i < 40; i++ {
+		p.Train(66, 99)
+	}
+	pred, ok := p.Predict(66)
+	if !ok || pred.Value != 99 {
+		t.Errorf("after phase change: %+v, %v", pred, ok)
+	}
+}
+
+func TestKeyIsolation(t *testing.T) {
+	// Different keys must not interfere (within table capacity).
+	for _, p := range []Predictor{NewEVES(), NewH3VP(), NewLastValue()} {
+		trainN(p, 1, []int64{100}, 20)
+		trainN(p, 2, []int64{200}, 20)
+		a, okA := p.Predict(1)
+		b, okB := p.Predict(2)
+		if !okA || !okB || a.Value != 100 || b.Value != 200 {
+			t.Errorf("%s: key isolation broken: %v %v", p.Name(), a, b)
+		}
+	}
+}
+
+func TestConfidenceBounds(t *testing.T) {
+	// Property: confidence always within [0, ConfMax] regardless of
+	// training sequence.
+	f := func(key uint64, vals []int64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for _, p := range []Predictor{NewEVES(), NewH3VP(), NewLastValue()} {
+			for i, v := range vals {
+				p.Train(key, v)
+				if i%3 == 0 {
+					if pred, ok := p.Predict(key); ok {
+						if pred.Confidence < 0 || pred.Confidence > ConfMax {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredictorsDeterministic(t *testing.T) {
+	// Property: same training sequence ⇒ same predictions (the simulator
+	// must be reproducible).
+	f := func(keys []uint64, vals []int64) bool {
+		if len(keys) == 0 || len(vals) == 0 {
+			return true
+		}
+		for _, name := range []string{"eves", "h3vp", "lastvalue"} {
+			p1, p2 := New(name), New(name)
+			for i := range vals {
+				k := keys[i%len(keys)]
+				p1.Train(k, vals[i])
+				p2.Train(k, vals[i])
+			}
+			for _, k := range keys {
+				a, okA := p1.Predict(k)
+				b, okB := p2.Predict(k)
+				if okA != okB || a != b {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

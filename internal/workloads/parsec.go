@@ -1,0 +1,331 @@
+package workloads
+
+import "sccsim/internal/emu"
+
+// The 8 PARSEC 3.0 stand-ins (§VI).
+
+func init() {
+	register(Workload{
+		Name:  "freqmine",
+		Suite: "parsec",
+		Class: ClassPredictable,
+		Description: "frequent-itemset stand-in: support-threshold scans " +
+			"against read-only tables (high data/control predictability)",
+		Source: `
+	.data 0x100000
+minsup:
+	.word 12
+items:
+` + wordList(256, func(i int) int64 {
+			// Mostly frequent items: the threshold branch is predictable.
+			if i%11 == 0 {
+				return 3
+			}
+			return int64(20 + i%9)
+		}) + `
+	.text
+	.entry main
+main:
+	movi r1, 0
+	movi r2, 0
+	movi r12, 90000
+mine:
+	movi r3, minsup
+	ld   r4, [r3+0]     ; invariant support threshold
+	movi r5, items
+	andi r6, r1, 255
+	shli r6, r6, 3
+	add  r6, r5, r6
+	ld   r7, [r6+0]
+	cmp  r7, r4
+	blt  rare
+	addi r2, r2, 1
+	jmp  mnext
+rare:
+	addi r2, r2, 0
+mnext:
+	addi r1, r1, 1
+	cmp  r1, r12
+	blt  mine
+	halt
+`,
+		DefaultMaxUops: 200_000,
+	})
+
+	register(Workload{
+		Name:  "vips",
+		Suite: "parsec",
+		Class: ClassMoveHeavy,
+		Description: "image-pipeline stand-in: per-pixel transform with " +
+			"immediate-coefficient setup each iteration (move elimination " +
+			"and branch-predictability showcase)",
+		Source: `
+	.data 0x100000
+pixels:
+` + randWords(512, 0x715, 256) + `
+	.text
+	.entry main
+main:
+	movi r1, 0
+	movi r2, 0
+	movi r12, 70000
+pixel:
+	movi r3, 77         ; luma coefficients as immediates
+	movi r4, 151
+	movi r5, 28
+	movi r6, pixels
+	andi r7, r1, 511
+	shli r7, r7, 3
+	add  r7, r6, r7
+	ld   r8, [r7+0]
+	mul  r9, r8, r3
+	shri r9, r9, 8
+	add  r10, r9, r4
+	sub  r10, r10, r5
+	add  r2, r2, r10
+	addi r1, r1, 1
+	cmp  r1, r12
+	blt  pixel
+	halt
+`,
+		DefaultMaxUops: 200_000,
+	})
+
+	register(Workload{
+		Name:  "x264",
+		Suite: "parsec",
+		Class: ClassFP,
+		Description: "video-encoder stand-in: SAD/DCT-style floating-point " +
+			"inner loops; SCC-unoptimizable, and the benchmark where the " +
+			"paper observes partitioning doubles the uop-cache hit rate",
+		Source: `
+	.data 0x100000
+blk:
+` + randWords(512, 0x264, 256) + `
+	.text
+	.entry main
+main:
+	movi r1, 0
+	movi r12, 50000
+sad:
+	movi r2, blk
+	andi r3, r1, 255
+	shli r3, r3, 3
+	add  r3, r2, r3
+	fld  f1, [r3+0]
+	fld  f2, [r3+2048]
+	fsub f3, f1, f2
+	fmul f4, f3, f3
+	fadd f5, f5, f4
+	fld  f6, [r3+8]
+	fsub f7, f6, f1
+	fmul f7, f7, f7
+	fadd f5, f5, f7
+	fld  f1, [r3+16]
+	fld  f2, [r3+2064]
+	fsub f3, f1, f2
+	fmul f4, f3, f3
+	fadd f5, f5, f4
+	fld  f6, [r3+24]
+	fsub f7, f6, f2
+	fmul f7, f7, f7
+	fadd f5, f5, f7
+	addi r1, r1, 1
+	cmp  r1, r12
+	blt  sad
+	halt
+`,
+		DefaultMaxUops: 150_000,
+	})
+
+	register(Workload{
+		Name:  "swaptions",
+		Suite: "parsec",
+		Class: ClassLowILP,
+		Description: "HJM-simulation stand-in: serial floating-point " +
+			"recurrence per path step (low ILP, reorder-buffer bound)",
+		Source: `
+	.data 0x100000
+drift:
+	.word 3
+	.text
+	.entry main
+main:
+	movi r1, 0
+	movi r12, 50000
+	movi r3, 2
+	cvtif f9, r3
+	movi r4, 1
+	cvtif f1, r4
+path:
+	movi r5, drift
+	ld   r6, [r5+0]     ; invariant drift term
+	cvtif f2, r6
+	; serial FP recurrence
+	fmul f1, f1, f2
+	fadd f1, f1, f9
+	fdiv f1, f1, f2
+	fadd f1, f1, f9
+	addi r1, r1, 1
+	cmp  r1, r12
+	blt  path
+	halt
+`,
+		DefaultMaxUops: 150_000,
+	})
+
+	register(Workload{
+		Name:  "streamcluster",
+		Suite: "parsec",
+		Class: ClassHighILP,
+		Description: "online-clustering stand-in: wide independent distance " +
+			"accumulations bounded by the finite issue queue",
+		Source: `
+	.data 0x100000
+points:
+` + randWords(512, 0x5c1, 1024) + `
+	.text
+	.entry main
+main:
+	movi r1, 0
+	movi r2, 0
+	movi r3, 0
+	movi r4, 0
+	movi r5, 0
+	movi r12, 60000
+dist:
+	movi r6, points
+	andi r7, r1, 255
+	shli r7, r7, 3
+	add  r7, r6, r7
+	ld   r8, [r7+0]
+	ld   r9, [r7+2048]
+	; four independent difference chains
+	sub  r10, r8, r9
+	mul  r10, r10, r10
+	add  r2, r2, r10
+	addi r11, r8, 5
+	add  r3, r3, r11
+	shri r13, r9, 2
+	add  r4, r4, r13
+	xor  r5, r5, r8
+	addi r1, r1, 1
+	cmp  r1, r12
+	blt  dist
+	halt
+`,
+		DefaultMaxUops: 200_000,
+	})
+
+	register(Workload{
+		Name:  "blackscholes",
+		Suite: "parsec",
+		Class: ClassFP,
+		Description: "option-pricing stand-in: floating-point formula " +
+			"evaluation with integer option bookkeeping",
+		Source: `
+	.data 0x100000
+strikes:
+` + randWords(256, 0xb5c, 200) + `
+	.text
+	.entry main
+main:
+	movi r1, 0
+	movi r2, 0
+	movi r12, 50000
+	movi r3, 5
+	cvtif f8, r3
+price:
+	movi r4, strikes
+	andi r5, r1, 255
+	shli r5, r5, 3
+	add  r5, r4, r5
+	ld   r6, [r5+0]
+	cvtif f1, r6
+	fdiv f2, f1, f8
+	fmul f3, f2, f2
+	fadd f4, f4, f3
+	fsub f5, f4, f1
+	cvtfi r7, f5
+	cmpi r7, 0
+	blt  pnext
+	addi r2, r2, 1
+pnext:
+	addi r1, r1, 1
+	cmp  r1, r12
+	blt  price
+	halt
+`,
+		DefaultMaxUops: 150_000,
+	})
+
+	register(Workload{
+		Name:  "canneal",
+		Suite: "parsec",
+		Class: ClassMemory,
+		Description: "simulated-annealing stand-in: random netlist pointer " +
+			"chase over a 2 MB ring with swap evaluation",
+		Source: `
+	.text
+	.entry main
+main:
+	movi r10, 0x800000  ; netlist ring base (MemInit)
+	mov  r11, r10
+	movi r1, 0
+	movi r2, 0
+	movi r12, 120000
+anneal:
+	ld   r11, [r11+0]   ; dependent random-walk load
+	andi r4, r11, 255
+	cmp  r4, r2
+	ble  keep
+	mov  r2, r4
+keep:
+	addi r1, r1, 1
+	cmp  r1, r12
+	blt  anneal
+	halt
+`,
+		MemInit: func(mem *emu.Memory) {
+			permutationRing(mem, 0x800000, 1<<13, 64, 0xca2ea1)
+		},
+		DefaultMaxUops: 150_000,
+	})
+
+	register(Workload{
+		Name:  "bodytrack",
+		Suite: "parsec",
+		Class: ClassBranchy,
+		Description: "particle-filter stand-in: data-dependent acceptance " +
+			"branches over random likelihoods (hard-to-predict control)",
+		Source: `
+	.data 0x100000
+lik:
+` + randWords(512, 0xb0d, 100) + `
+	.text
+	.entry main
+main:
+	movi r1, 0
+	movi r2, 0
+	movi r12, 70000
+filter:
+	movi r3, lik
+	andi r4, r1, 511
+	shli r4, r4, 3
+	add  r4, r3, r4
+	ld   r5, [r4+0]
+	cmpi r5, 50         ; ~50/50 data-dependent branch
+	blt  reject
+	addi r2, r2, 3
+	jmp  fnext
+reject:
+	addi r2, r2, 1
+fnext:
+	addi r1, r1, 1
+	cmp  r1, r12
+	blt  filter
+	halt
+`,
+		DefaultMaxUops: 200_000,
+	})
+}

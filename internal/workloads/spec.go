@@ -1,0 +1,464 @@
+package workloads
+
+import "sccsim/internal/emu"
+
+// The 11 SPEC CPU 2017 stand-ins (§VI: all INT except x264 and omnetpp,
+// plus the FP codes lbm/wrf/povray the paper's figures include).
+
+func init() {
+	register(Workload{
+		Name:  "perlbench",
+		Suite: "spec",
+		Class: ClassPredictable,
+		Description: "interpreter stand-in: biased opcode dispatch plus a " +
+			"large unrolled fast-path (~3 KB hot code footprint), constant " +
+			"dispatch-table loads and integer ALU bodies",
+		Source: `
+	.data 0x100000
+ops:
+` + wordList(256, func(i int) int64 {
+			// 85% opcode 0, the rest cycle through 1..3: predictable.
+			if i%7 != 0 {
+				return 0
+			}
+			return int64(1 + i%3)
+		}) + `
+handlers:
+	.word 3, 5, 7, 11
+	.text
+	.entry main
+main:
+	movi r1, 0          ; pc
+	movi r2, 0          ; acc
+	movi r12, 500       ; outer budget
+dispatch:
+	movi r3, ops
+	andi r4, r1, 255
+	shli r4, r4, 3
+	add  r4, r3, r4
+	ld   r7, [r4+0]     ; opcode
+	cmpi r7, 0
+	bne  slow
+	addi r2, r2, 1      ; fast path: op0
+	jmp  body
+slow:
+	movi r6, handlers
+	shli r5, r7, 3
+	add  r5, r6, r5
+	ld   r8, [r5+0]     ; constant handler weight (invariant load)
+	add  r2, r2, r8
+	jmp  body
+	.align 32
+body:
+` + stageBlocks(18, 0x9e1, "dnext") + `
+dnext:
+	addi r1, r1, 1
+	cmp  r1, r12
+	blt  dispatch
+	halt
+`,
+		DefaultMaxUops: 200_000,
+	})
+
+	register(Workload{
+		Name:  "gcc",
+		Suite: "spec",
+		Class: ClassBranchy,
+		Description: "compiler-pass stand-in: branchy tree-walk head feeding " +
+			"a large unrolled sequence of pass stages (~4 KB hot code " +
+			"footprint that pressures the micro-op cache)",
+		Source: `
+	.data 0x100000
+nodes:
+` + randWords(512, 0x6cc, 100) + `
+costs:
+	.word 2, 3, 5, 8
+	.text
+	.entry main
+main:
+	movi r1, 0
+	movi r2, 0
+	movi r12, 400
+walk:
+	movi r3, nodes
+	andi r4, r1, 511
+	shli r4, r4, 3
+	add  r4, r3, r4
+	ld   r7, [r4+0]
+	cmpi r7, 50
+	blt  low
+	movi r6, costs
+	ld   r5, [r6+8]     ; invariant cost load
+	add  r2, r2, r5
+	jmp  stages
+low:
+	andi r8, r7, 3
+	add  r2, r2, r8
+	jmp  stages
+	.align 32
+stages:
+` + stageBlocks(17, 0x9cc, "wnext") + `
+wnext:
+	addi r1, r1, 1
+	cmp  r1, r12
+	blt  walk
+	halt
+`,
+		DefaultMaxUops: 200_000,
+	})
+
+	register(Workload{
+		Name:  "mcf",
+		Suite: "spec",
+		Class: ClassMemory,
+		Description: "network-simplex stand-in: pointer chase over a 4 MB " +
+			"random ring with light integer work per hop",
+		Source: `
+	.text
+	.entry main
+main:
+	movi r10, 0x400000  ; ring base (populated by MemInit)
+	mov  r11, r10
+	movi r1, 0
+	movi r12, 200000
+chase:
+	ld   r11, [r11+0]   ; serially dependent, cache-missing load
+	addi r1, r1, 1
+	andi r4, r1, 7
+	add  r5, r4, r1
+	cmp  r1, r12
+	blt  chase
+	halt
+`,
+		MemInit: func(mem *emu.Memory) {
+			permutationRing(mem, 0x400000, 1<<12, 64, 0x3cf5eed)
+		},
+		DefaultMaxUops: 150_000,
+	})
+
+	register(Workload{
+		Name:  "xalancbmk",
+		Suite: "spec",
+		Class: ClassPredictable,
+		Description: "XML-transform stand-in: the Figure 4 pattern — hot " +
+			"basic block with invariant constant-pool loads feeding " +
+			"foldable integer chains",
+		Source: `
+	.data 0x100000
+pool:
+	.word 17, 4, 64
+lens:
+` + randWords(128, 0x3a1, 40) + `
+	.text
+	.entry main
+main:
+	movi r1, 0
+	movi r2, 0
+	movi r12, 90000
+xform:
+	movi r3, pool
+	ld   r4, [r3+0]     ; invariant: tag width
+	addi r5, r4, 3      ; folds against the invariant
+	movi r6, lens
+	andi r7, r1, 127
+	shli r7, r7, 3
+	add  r7, r6, r7
+	ld   r8, [r7+0]
+	add  r9, r8, r5
+	cmpi r9, 30
+	blt  short
+	addi r2, r2, 2
+	jmp  xnext
+short:
+	addi r2, r2, 1
+xnext:
+	addi r1, r1, 1
+	cmp  r1, r12
+	blt  xform
+	halt
+`,
+		DefaultMaxUops: 200_000,
+	})
+
+	register(Workload{
+		Name:  "deepsjeng",
+		Suite: "spec",
+		Class: ClassHighILP,
+		Description: "chess-engine stand-in: wide independent bitboard " +
+			"logic chains bounded by the issue queue",
+		Source: `
+	.data 0x100000
+boards:
+` + randWords(256, 0xd5e, 1<<30) + `
+	.text
+	.entry main
+main:
+	movi r1, 0
+	movi r2, 0
+	movi r3, 0
+	movi r4, 0
+	movi r12, 60000
+search:
+	movi r5, boards
+	andi r6, r1, 255
+	shli r6, r6, 3
+	add  r6, r5, r6
+	ld   r7, [r6+0]
+	; four independent bit-manipulation chains (high ILP)
+	shri r8, r7, 3
+	xor  r2, r2, r8
+	shli r9, r7, 2
+	and  r3, r3, r9
+	ori  r3, r3, 5
+	shri r10, r7, 7
+	add  r4, r4, r10
+	xori r11, r7, 12345
+	add  r2, r2, r11
+	addi r1, r1, 1
+	cmp  r1, r12
+	blt  search
+	halt
+`,
+		DefaultMaxUops: 200_000,
+	})
+
+	register(Workload{
+		Name:  "leela",
+		Suite: "spec",
+		Class: ClassLowILP,
+		Description: "go-engine stand-in: one long serial dependency chain " +
+			"per playout step (reorder-buffer bound)",
+		Source: `
+	.data 0x100000
+weights:
+	.word 3
+	.text
+	.entry main
+main:
+	movi r2, 1
+	movi r1, 0
+	movi r12, 50000
+playout:
+	movi r3, weights
+	ld   r4, [r3+0]     ; invariant weight
+	; serial chain: every op depends on the previous
+	mul  r2, r2, r4
+	addi r2, r2, 7
+	shri r2, r2, 1
+	xori r2, r2, 3
+	mul  r2, r2, r4
+	addi r2, r2, 11
+	shri r2, r2, 2
+	ori  r2, r2, 1
+	addi r1, r1, 1
+	cmp  r1, r12
+	blt  playout
+	halt
+`,
+		DefaultMaxUops: 150_000,
+	})
+
+	register(Workload{
+		Name:  "exchange2",
+		Suite: "spec",
+		Class: ClassMoveHeavy,
+		Description: "sudoku-solver stand-in: register-immediate move and " +
+			"shuffle dominated inner loop (the move-elimination showcase)",
+		Source: `
+	.text
+	.entry main
+main:
+	movi r1, 0
+	movi r2, 0
+	movi r12, 70000
+place:
+	movi r3, 9          ; candidate digits as immediates
+	movi r4, 3
+	movi r5, 27
+	mov  r6, r3
+	mov  r7, r4
+	add  r8, r6, r7
+	add  r8, r8, r5
+	and  r9, r8, r3
+	add  r2, r2, r9
+	movi r10, 81
+	sub  r11, r10, r8
+	add  r2, r2, r11
+	addi r1, r1, 1
+	cmp  r1, r12
+	blt  place
+	halt
+`,
+		DefaultMaxUops: 200_000,
+	})
+
+	register(Workload{
+		Name:  "xz",
+		Suite: "spec",
+		Class: ClassMemory,
+		Description: "LZMA match-finder stand-in: L2-resident history-buffer " +
+			"scans; high compaction potential but memory-latency bound",
+		Source: `
+	.text
+	.entry main
+main:
+	movi r10, 0x600000  ; 512 KB history buffer (MemInit)
+	movi r1, 0
+	movi r2, 0
+	movi r12, 80000
+match:
+	movi r3, 40503      ; hash multiplier
+	mul  r4, r1, r3
+	andi r4, r4, 65535
+	shli r4, r4, 3
+	add  r5, r10, r4
+	ld   r6, [r5+0]     ; scattered L2-resident load
+	cmp  r6, r2
+	ble  skip
+	mov  r2, r6
+skip:
+	addi r1, r1, 1
+	cmp  r1, r12
+	blt  match
+	halt
+`,
+		MemInit: func(mem *emu.Memory) {
+			g := &lcg{s: 0x717a}
+			for i := 0; i < 1<<16; i++ {
+				mem.Write64(0x600000+uint64(i)*8, int64(g.next()%1000))
+			}
+		},
+		DefaultMaxUops: 150_000,
+	})
+
+	register(Workload{
+		Name:  "lbm",
+		Suite: "spec",
+		Class: ClassFP,
+		Description: "lattice-Boltzmann stand-in: floating-point stencil " +
+			"updates that SCC's integer-only ALU cannot touch",
+		Source: `
+	.data 0x100000
+grid:
+` + randWords(512, 0x16b, 1000) + `
+	.text
+	.entry main
+main:
+	movi r1, 0
+	movi r12, 40000
+	movi r3, 100
+	cvtif f7, r3
+stencil:
+	movi r2, grid
+	andi r4, r1, 255
+	shli r4, r4, 3
+	add  r4, r2, r4
+	fld  f1, [r4+0]
+	fld  f2, [r4+8]
+	fadd f3, f1, f2
+	fmul f4, f3, f7
+	fadd f5, f5, f4
+	fdiv f6, f5, f7
+	fld  f1, [r4+16]
+	fadd f3, f1, f6
+	fmul f4, f3, f7
+	fadd f5, f5, f4
+	fld  f2, [r4+24]
+	fsub f3, f5, f2
+	fmul f4, f3, f3
+	fadd f5, f5, f4
+	fmul f6, f5, f7
+	fadd f6, f6, f1
+	fsub f6, f6, f2
+	fst  [r4+2048], f6
+	addi r1, r1, 1
+	cmp  r1, r12
+	blt  stencil
+	halt
+`,
+		DefaultMaxUops: 150_000,
+	})
+
+	register(Workload{
+		Name:  "wrf",
+		Suite: "spec",
+		Class: ClassFP,
+		Description: "weather-model stand-in: floating-point physics loop " +
+			"with minimal integer bookkeeping",
+		Source: `
+	.data 0x100000
+field:
+` + randWords(256, 0x3f2, 500) + `
+	.text
+	.entry main
+main:
+	movi r1, 0
+	movi r12, 40000
+	movi r3, 7
+	cvtif f8, r3
+physics:
+	movi r2, field
+	andi r4, r1, 255
+	shli r4, r4, 3
+	add  r4, r2, r4
+	fld  f1, [r4+0]
+	fmul f2, f1, f8
+	fadd f3, f3, f2
+	fsub f4, f3, f1
+	fmul f5, f4, f8
+	fadd f6, f6, f5
+	fld  f2, [r4+8]
+	fadd f3, f3, f2
+	fmul f4, f2, f8
+	fsub f5, f4, f3
+	fadd f6, f6, f5
+	fmul f1, f6, f8
+	fadd f3, f3, f1
+	fsub f6, f6, f2
+	addi r1, r1, 1
+	cmp  r1, r12
+	blt  physics
+	halt
+`,
+		DefaultMaxUops: 150_000,
+	})
+
+	register(Workload{
+		Name:  "povray",
+		Suite: "spec",
+		Class: ClassFP,
+		Description: "ray-tracer stand-in: FP dot products and divisions " +
+			"with light integer ray bookkeeping",
+		Source: `
+	.data 0x100000
+rays:
+` + randWords(256, 0x9e4, 2000) + `
+	.text
+	.entry main
+main:
+	movi r1, 0
+	movi r2, 0
+	movi r12, 40000
+	movi r3, 3
+	cvtif f9, r3
+trace:
+	movi r4, rays
+	andi r5, r1, 255
+	shli r5, r5, 3
+	add  r5, r4, r5
+	ld   r6, [r5+0]
+	cvtif f1, r6
+	fmul f2, f1, f1
+	fadd f3, f3, f2
+	fdiv f4, f3, f9
+	cvtfi r7, f4
+	andi r7, r7, 1
+	add  r2, r2, r7
+	addi r1, r1, 1
+	cmp  r1, r12
+	blt  trace
+	halt
+`,
+		DefaultMaxUops: 150_000,
+	})
+}

@@ -1,0 +1,217 @@
+package workloads
+
+import (
+	"testing"
+
+	"sccsim/internal/asm"
+	"sccsim/internal/emu"
+	"sccsim/internal/uop"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	if n := len(All()); n != 19 {
+		t.Fatalf("registry has %d workloads, want 19 (11 SPEC + 8 PARSEC)", n)
+	}
+	if n := len(Suite("spec")); n != 11 {
+		t.Errorf("SPEC suite has %d, want 11", n)
+	}
+	if n := len(Suite("parsec")); n != 8 {
+		t.Errorf("PARSEC suite has %d, want 8", n)
+	}
+	seen := map[string]bool{}
+	for _, w := range All() {
+		if seen[w.Name] {
+			t.Errorf("duplicate workload %q", w.Name)
+		}
+		seen[w.Name] = true
+		if w.Description == "" || w.Class == "" {
+			t.Errorf("%s missing metadata", w.Name)
+		}
+		if w.DefaultMaxUops == 0 {
+			t.Errorf("%s has no default run length", w.Name)
+		}
+	}
+	for _, name := range []string{"perlbench", "mcf", "xalancbmk", "lbm",
+		"x264", "freqmine", "canneal"} {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("missing expected workload %q", name)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName should miss unknown names")
+	}
+}
+
+func TestAllWorkloadsAssembleAndRun(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			p := w.Program()
+			m := emu.New(p)
+			if w.MemInit != nil {
+				w.MemInit(m.Mem)
+			}
+			n := m.Run(w.DefaultMaxUops)
+			if n == 0 {
+				t.Fatal("workload executed zero uops")
+			}
+			if n < w.DefaultMaxUops && !m.Halted() {
+				t.Fatalf("workload stopped early (%d uops) without halting", n)
+			}
+			// Workloads must be long enough to fill their interval.
+			if m.Halted() && n < w.DefaultMaxUops/2 {
+				t.Errorf("workload halted after only %d uops (interval %d)",
+					n, w.DefaultMaxUops)
+			}
+		})
+	}
+}
+
+func TestWorkloadsAreDeterministic(t *testing.T) {
+	for _, w := range All() {
+		a, b := emu.New(w.Program()), emu.New(w.Program())
+		if w.MemInit != nil {
+			w.MemInit(a.Mem)
+			w.MemInit(b.Mem)
+		}
+		a.Run(50_000)
+		b.Run(50_000)
+		if a.St != b.St {
+			t.Errorf("%s is nondeterministic", w.Name)
+		}
+	}
+}
+
+func TestClassCharacteristics(t *testing.T) {
+	// Each class must exhibit its defining instruction mix.
+	counts := func(w Workload) (fp, mem, branch, total int) {
+		p := w.Program()
+		m := emu.New(p)
+		if w.MemInit != nil {
+			w.MemInit(m.Mem)
+		}
+		for i := 0; i < 50_000; i++ {
+			res, ok := m.StepUop()
+			if !ok {
+				break
+			}
+			total++
+			switch res.U.Kind {
+			case uop.KFp:
+				fp++
+			case uop.KLoad, uop.KStore:
+				mem++
+			case uop.KBranch:
+				branch++
+			}
+		}
+		return
+	}
+	for _, w := range All() {
+		fp, mem, branch, total := counts(w)
+		if total == 0 {
+			t.Fatalf("%s executed nothing", w.Name)
+		}
+		fpFrac := float64(fp) / float64(total)
+		memFrac := float64(mem) / float64(total)
+		brFrac := float64(branch) / float64(total)
+		switch w.Class {
+		case ClassFP:
+			if fpFrac < 0.25 {
+				t.Errorf("%s (fp class) has only %.0f%% FP uops", w.Name, fpFrac*100)
+			}
+		case ClassMemory:
+			if memFrac < 0.08 {
+				t.Errorf("%s (memory class) has only %.0f%% memory uops", w.Name, memFrac*100)
+			}
+		case ClassBranchy:
+			if brFrac < 0.10 {
+				t.Errorf("%s (branchy class) has only %.0f%% branches", w.Name, brFrac*100)
+			}
+		case ClassPredictable, ClassMoveHeavy, ClassHighILP:
+			if fpFrac > 0.15 {
+				t.Errorf("%s (int class) has %.0f%% FP uops", w.Name, fpFrac*100)
+			}
+		}
+	}
+}
+
+func TestPermutationRingIsFullCycle(t *testing.T) {
+	mem := emu.NewMemory()
+	const n = 1024
+	permutationRing(mem, 0x1000, n, 64, 42)
+	seen := map[uint64]bool{}
+	addr := uint64(0x1000)
+	for i := 0; i < n; i++ {
+		if seen[addr] {
+			t.Fatalf("ring revisits %#x after %d hops (not a full cycle)", addr, i)
+		}
+		seen[addr] = true
+		addr = uint64(mem.Read64(addr))
+	}
+	if addr != 0x1000 {
+		t.Errorf("ring does not close: ended at %#x", addr)
+	}
+}
+
+func TestMemoryWorkloadsTouchManyLines(t *testing.T) {
+	// The memory-bound kernels must actually spread accesses widely.
+	for _, name := range []string{"mcf", "canneal"} {
+		w, _ := ByName(name)
+		p := w.Program()
+		m := emu.New(p)
+		w.MemInit(m.Mem)
+		lines := map[uint64]bool{}
+		for i := 0; i < 100_000; i++ {
+			res, ok := m.StepUop()
+			if !ok {
+				break
+			}
+			if res.U.Kind == uop.KLoad {
+				lines[res.MemAddr>>6] = true
+			}
+		}
+		if len(lines) < 1000 {
+			t.Errorf("%s touched only %d cache lines — not memory-bound", name, len(lines))
+		}
+	}
+}
+
+func TestMoveHeavyWorkloadsHaveMovi(t *testing.T) {
+	for _, name := range []string{"exchange2", "vips"} {
+		w, _ := ByName(name)
+		m := emu.New(w.Program())
+		movi := 0
+		total := 0
+		for i := 0; i < 20_000; i++ {
+			res, ok := m.StepUop()
+			if !ok {
+				break
+			}
+			total++
+			if res.U.Kind == uop.KMovImm || res.U.Kind == uop.KMov {
+				movi++
+			}
+		}
+		if float64(movi)/float64(total) < 0.15 {
+			t.Errorf("%s: only %d/%d move uops — not move-heavy", name, movi, total)
+		}
+	}
+}
+
+func TestRandWordsInRange(t *testing.T) {
+	src := "\t.data 0x100000\nx:\n" + randWords(64, 7, 100) + "\t.text\nhalt\n"
+	m := emu.New(mustAsm(t, src))
+	for i := 0; i < 64; i++ {
+		v := m.Mem.Read64(0x100000 + uint64(i)*8)
+		if v < 0 || v >= 100 {
+			t.Fatalf("word %d = %d out of range", i, v)
+		}
+	}
+}
+
+func mustAsm(t *testing.T, src string) *asm.Program {
+	t.Helper()
+	w := Workload{Source: src}
+	return w.Program()
+}
