@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench figures fig6 fig7 fig8 fig9 fig10 fig11 \
+.PHONY: all build test check bench figures fig6 fig7 fig8 fig9 fig10 fig11 \
         table1 overhead examples clean
 
 all: build test
@@ -13,6 +13,13 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Full verification: build, vet, and the test suite under the race
+# detector (the sweep scheduler is concurrent).
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 # Reduced-scale benchmark suite: one bench per table/figure + ablations.
 bench:

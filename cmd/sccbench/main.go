@@ -4,12 +4,19 @@
 //	sccbench -experiment fig6
 //	sccbench -experiment fig9 -max-uops 60000
 //	sccbench -experiment fig6 -workloads xalancbmk,mcf,lbm
+//	sccbench -experiment all -parallel 8
+//
+// Sweeps fan out across -parallel workers (default GOMAXPROCS); the
+// rendered tables are byte-identical to a serial run regardless of the
+// setting, and each experiment reports its sweep telemetry (wall clock,
+// simulated uops/sec) after the tables.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -21,12 +28,14 @@ func main() {
 	var (
 		experiment = flag.String("experiment", "all",
 			"table1 | fig6 | fig7 | fig8 | fig9 | fig10 | fig11 | overhead | ext | all")
-		maxUops = flag.Uint64("max-uops", 0, "interval length override in micro-ops (0 = workload defaults)")
-		subset  = flag.String("workloads", "", "comma-separated workload subset (default: all 19)")
+		maxUops  = flag.Uint64("max-uops", 0, "interval length override in micro-ops (0 = workload defaults)")
+		subset   = flag.String("workloads", "", "comma-separated workload subset (default: all 19)")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
+			"simulation runs in flight at once (1 = serial)")
 	)
 	flag.Parse()
 
-	opts := sccsim.Options{MaxUops: *maxUops}
+	opts := sccsim.Options{MaxUops: *maxUops, Parallel: *parallel}
 	if *subset != "" {
 		for _, name := range strings.Split(*subset, ",") {
 			w, ok := workloads.ByName(strings.TrimSpace(name))
@@ -38,73 +47,77 @@ func main() {
 		}
 	}
 
-	run := func(name string, fn func() error) {
+	run := func(name string, fn func() (*sccsim.SweepSummary, error)) {
 		t0 := time.Now()
-		if err := fn(); err != nil {
+		sum, err := fn()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "sccbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("\n[%s completed in %v]\n", name, time.Since(t0).Round(time.Millisecond))
+		if sum != nil {
+			fmt.Printf("\n[%s sweep: %s]\n", name, sum)
+		}
+		fmt.Printf("[%s completed in %v]\n", name, time.Since(t0).Round(time.Millisecond))
 	}
 
-	experiments := map[string]func() error{
-		"table1": func() error { sccsim.Table1(os.Stdout); return nil },
-		"fig6": func() error {
+	experiments := map[string]func() (*sccsim.SweepSummary, error){
+		"table1": func() (*sccsim.SweepSummary, error) { sccsim.Table1(os.Stdout); return nil, nil },
+		"fig6": func() (*sccsim.SweepSummary, error) {
 			f, err := sccsim.Figure6(opts)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			f.Write(os.Stdout)
-			return nil
+			return f.Timing, nil
 		},
-		"fig7": func() error {
+		"fig7": func() (*sccsim.SweepSummary, error) {
 			f, err := sccsim.Figure7(opts)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			f.Write(os.Stdout)
-			return nil
+			return f.Timing, nil
 		},
-		"fig8": func() error {
+		"fig8": func() (*sccsim.SweepSummary, error) {
 			f, err := sccsim.Figure8(opts)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			f.Write(os.Stdout)
-			return nil
+			return f.Timing, nil
 		},
-		"fig9": func() error {
+		"fig9": func() (*sccsim.SweepSummary, error) {
 			f, err := sccsim.Figure9(opts)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			f.Write(os.Stdout)
-			return nil
+			return f.Timing, nil
 		},
-		"fig10": func() error {
+		"fig10": func() (*sccsim.SweepSummary, error) {
 			f, err := sccsim.Figure10(opts)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			f.Write(os.Stdout)
-			return nil
+			return f.Timing, nil
 		},
-		"fig11": func() error {
+		"fig11": func() (*sccsim.SweepSummary, error) {
 			f, err := sccsim.Figure11(opts)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			f.Write(os.Stdout)
-			return nil
+			return f.Timing, nil
 		},
-		"overhead": func() error { sccsim.Overheads(os.Stdout); return nil },
-		"ext": func() error {
+		"overhead": func() (*sccsim.SweepSummary, error) { sccsim.Overheads(os.Stdout); return nil, nil },
+		"ext": func() (*sccsim.SweepSummary, error) {
 			f, err := sccsim.Extension(opts)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			f.Write(os.Stdout)
-			return nil
+			return f.Timing, nil
 		},
 	}
 

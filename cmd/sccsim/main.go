@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"sccsim"
 	"sccsim/internal/asm"
@@ -35,7 +36,9 @@ func main() {
 		optSets  = flag.Int("specCacheNumSets", 24, "optimized-partition sets (of 48 total)")
 		width    = flag.Int("const-width", 64, "inlined-constant width in bits (8/16/32/64)")
 		maxUops  = flag.Uint64("max-uops", 0, "program-work budget in micro-ops (0 = workload default)")
-		verbose  = flag.Bool("v", false, "print the full counter dump")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
+			"sweep worker count for library Options plumbing (a single run uses one)")
+		verbose = flag.Bool("v", false, "print the full counter dump")
 	)
 	flag.Parse()
 
@@ -57,18 +60,19 @@ func main() {
 		cfg = cfg.WithValuePredictor(*lvpred)
 	}
 
+	opts := sccsim.Options{MaxUops: *maxUops, Parallel: *parallel}
 	var res *harness.RunResult
 	var err error
 	switch {
 	case *program != "":
-		res, err = runFile(cfg, *program, *maxUops)
+		res, err = runFile(cfg, *program, opts)
 	case *workload != "":
 		w, ok := sccsim.WorkloadByName(*workload)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "sccsim: unknown workload %q (try -list)\n", *workload)
 			os.Exit(2)
 		}
-		res, err = sccsim.Run(cfg, w, sccsim.Options{MaxUops: *maxUops})
+		res, err = sccsim.Run(cfg, w, opts)
 	default:
 		fmt.Fprintln(os.Stderr, "sccsim: need -workload or -program (or -list)")
 		os.Exit(2)
@@ -80,21 +84,19 @@ func main() {
 	report(res, *verbose)
 }
 
-func runFile(cfg sccsim.Config, path string, maxUops uint64) (*harness.RunResult, error) {
+func runFile(cfg sccsim.Config, path string, opts sccsim.Options) (*harness.RunResult, error) {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	prog, err := asm.Assemble(string(src))
-	if err != nil {
+	if _, err := asm.Assemble(string(src)); err != nil {
 		return nil, err
 	}
-	if maxUops == 0 {
-		maxUops = 1 << 62
+	if opts.MaxUops == 0 {
+		opts.MaxUops = 1 << 62
 	}
-	w := workloads.Workload{Name: path, Source: string(src), DefaultMaxUops: maxUops}
-	_ = prog
-	return harness.RunOne(cfg, w, harness.Options{MaxUops: maxUops})
+	w := workloads.Workload{Name: path, Source: string(src), DefaultMaxUops: opts.MaxUops}
+	return harness.RunOne(cfg, w, opts)
 }
 
 func report(res *harness.RunResult, verbose bool) {

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 
 	"sccsim"
@@ -25,6 +26,8 @@ func main() {
 		maxUops  = flag.Uint64("max-uops", 0, "program-work budget (0 = workload default)")
 		top      = flag.Int("top", 10, "show the N most-streamed compacted lines")
 		level    = flag.Int("scc-level", int(scc.LevelFull), "SCC optimization level 2..5")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
+			"sweep worker count for library Options plumbing (a single trace uses one)")
 	)
 	flag.Parse()
 	if *workload == "" {
@@ -36,19 +39,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "scctrace: unknown workload %q\n", *workload)
 		os.Exit(2)
 	}
-	cfg := sccsim.SCCConfig(scc.Level(*level))
-	if *maxUops != 0 {
-		cfg.MaxUops = *maxUops
-	} else {
-		cfg.MaxUops = w.DefaultMaxUops
-	}
-	m, err := sccsim.NewMachine(cfg, w.Program())
+	// The same Options plumbing and machine setup path as sccsim/sccbench
+	// (budget override + workload memory init) — scctrace keeps the
+	// Machine because it inspects the optimized partition after the run.
+	opts := sccsim.Options{MaxUops: *maxUops, Parallel: *parallel}
+	m, err := sccsim.Prepare(sccsim.SCCConfig(scc.Level(*level)), w, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scctrace:", err)
 		os.Exit(1)
-	}
-	if w.MemInit != nil {
-		w.MemInit(m.Oracle.Mem)
 	}
 	st, err := m.Run()
 	if err != nil {

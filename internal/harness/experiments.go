@@ -6,6 +6,7 @@ import (
 
 	"sccsim/internal/pipeline"
 	"sccsim/internal/power"
+	"sccsim/internal/runner"
 	"sccsim/internal/scc"
 	"sccsim/internal/stats"
 )
@@ -49,6 +50,7 @@ type Fig6 struct {
 	Squash   [][]float64 // squash-cycle fraction
 	// Per-category dynamic elimination fractions at full SCC.
 	MoveFrac, FoldFrac, BranchFrac []float64
+	Timing                         *runner.Summary
 }
 
 // Fig6Run regenerates Figure 6's three panels.
@@ -59,6 +61,18 @@ func Fig6Run(opts Options) (*Fig6, error) {
 	for _, w := range ws {
 		f.Names = append(f.Names, w.Name)
 	}
+	// Jobs laid out [level][workload], flattened in submission order.
+	var jobs []runner.Job[*RunResult]
+	for _, lv := range levels {
+		for _, w := range ws {
+			jobs = append(jobs, job(pipeline.IcelakeSCC(lv), w, opts))
+		}
+	}
+	results, sum, err := sweep(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
+	f.Timing = sum
 	f.NormUops = make([][]float64, len(levels))
 	f.NormTime = make([][]float64, len(levels))
 	f.Squash = make([][]float64, len(levels))
@@ -68,12 +82,8 @@ func Fig6Run(opts Options) (*Fig6, error) {
 		f.NormUops[li] = make([]float64, len(ws))
 		f.NormTime[li] = make([]float64, len(ws))
 		f.Squash[li] = make([]float64, len(ws))
-		for wi, w := range ws {
-			res, err := RunOne(pipeline.IcelakeSCC(lv), w, opts)
-			if err != nil {
-				return nil, err
-			}
-			st := res.Stats
+		for wi := range ws {
+			st := results[li*len(ws)+wi].Stats
 			if lv == scc.LevelBaseline {
 				baseUops[wi] = float64(st.CommittedUops)
 				baseTime[wi] = float64(st.Cycles)
@@ -169,16 +179,27 @@ type Fig7 struct {
 	Names                       []string
 	BaseDecode, BaseUnopt       []float64
 	SCCDecode, SCCUnopt, SCCOpt []float64
+	Timing                      *runner.Summary
 }
 
 // Fig7Run regenerates Figure 7.
 func Fig7Run(opts Options) (*Fig7, error) {
+	ws := opts.workloads()
 	f := &Fig7{}
-	for _, w := range opts.workloads() {
-		base, withSCC, err := RunPair(pipeline.IcelakeSCC(scc.LevelFull), w, opts)
-		if err != nil {
-			return nil, err
-		}
+	// Jobs per workload: baseline then full SCC.
+	var jobs []runner.Job[*RunResult]
+	for _, w := range ws {
+		jobs = append(jobs,
+			job(pipeline.Icelake(), w, opts),
+			job(pipeline.IcelakeSCC(scc.LevelFull), w, opts))
+	}
+	results, sum, err := sweep(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
+	f.Timing = sum
+	for wi, w := range ws {
+		base, withSCC := results[2*wi], results[2*wi+1]
 		f.Names = append(f.Names, w.Name)
 		bt := float64(base.Stats.TotalFetchedSlots())
 		st := float64(withSCC.Stats.TotalFetchedSlots())
@@ -209,16 +230,26 @@ func (f *Fig7) Write(w io.Writer) {
 type Fig8 struct {
 	Names      []string
 	NormEnergy []float64 // SCC energy / baseline energy
+	Timing     *runner.Summary
 }
 
 // Fig8Run regenerates Figure 8.
 func Fig8Run(opts Options) (*Fig8, error) {
+	ws := opts.workloads()
 	f := &Fig8{}
-	for _, w := range opts.workloads() {
-		base, withSCC, err := RunPair(pipeline.IcelakeSCC(scc.LevelFull), w, opts)
-		if err != nil {
-			return nil, err
-		}
+	var jobs []runner.Job[*RunResult]
+	for _, w := range ws {
+		jobs = append(jobs,
+			job(pipeline.Icelake(), w, opts),
+			job(pipeline.IcelakeSCC(scc.LevelFull), w, opts))
+	}
+	results, sum, err := sweep(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
+	f.Timing = sum
+	for wi, w := range ws {
+		base, withSCC := results[2*wi], results[2*wi+1]
 		f.Names = append(f.Names, w.Name)
 		f.NormEnergy = append(f.NormEnergy, stats.Ratio(withSCC.EnergyJ(), base.EnergyJ()))
 	}
@@ -256,37 +287,45 @@ type Fig9 struct {
 	NormTime   [][]float64 // [predictor][workload], vs shared baseline
 	Reduction  [][]float64
 	Squashes   [][]float64 // invariant violations per 1000 committed uops
+	Timing     *runner.Summary
 }
 
 // Fig9Run regenerates Figure 9.
 func Fig9Run(opts Options) (*Fig9, error) {
 	f := &Fig9{Predictors: []string{"h3vp", "eves"}}
 	ws := opts.workloads()
+	n := len(ws)
 	for _, w := range ws {
 		f.Names = append(f.Names, w.Name)
 	}
+	// Jobs: n shared baselines, then [predictor][workload].
+	var jobs []runner.Job[*RunResult]
+	for _, w := range ws {
+		jobs = append(jobs, job(pipeline.Icelake(), w, opts))
+	}
+	for _, vp := range f.Predictors {
+		for _, w := range ws {
+			jobs = append(jobs, job(pipeline.IcelakeSCC(scc.LevelFull).WithValuePredictor(vp), w, opts))
+		}
+	}
+	results, sum, err := sweep(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
+	f.Timing = sum
 	f.NormTime = make([][]float64, len(f.Predictors))
 	f.Reduction = make([][]float64, len(f.Predictors))
 	f.Squashes = make([][]float64, len(f.Predictors))
-	baseTime := make([]float64, len(ws))
-	for wi, w := range ws {
-		base, err := RunOne(pipeline.Icelake(), w, opts)
-		if err != nil {
-			return nil, err
-		}
-		baseTime[wi] = float64(base.Stats.Cycles)
+	baseTime := make([]float64, n)
+	for wi := range ws {
+		baseTime[wi] = float64(results[wi].Stats.Cycles)
 	}
-	for pi, vp := range f.Predictors {
-		f.NormTime[pi] = make([]float64, len(ws))
-		f.Reduction[pi] = make([]float64, len(ws))
-		f.Squashes[pi] = make([]float64, len(ws))
-		for wi, w := range ws {
-			cfg := pipeline.IcelakeSCC(scc.LevelFull).WithValuePredictor(vp)
-			res, err := RunOne(cfg, w, opts)
-			if err != nil {
-				return nil, err
-			}
-			st := res.Stats
+	for pi := range f.Predictors {
+		f.NormTime[pi] = make([]float64, n)
+		f.Reduction[pi] = make([]float64, n)
+		f.Squashes[pi] = make([]float64, n)
+		for wi := range ws {
+			st := results[n+pi*n+wi].Stats
 			f.NormTime[pi][wi] = stats.Ratio(float64(st.Cycles), baseTime[wi])
 			f.Reduction[pi][wi] = st.DynamicUopReduction()
 			f.Squashes[pi][wi] = stats.Ratio(float64(st.InvariantViolations)*1000, float64(st.CommittedUops))
@@ -316,32 +355,41 @@ type Fig10 struct {
 	Names    []string
 	OptSets  []int
 	NormTime [][]float64 // [split][workload]
+	Timing   *runner.Summary
 }
 
 // Fig10Run regenerates Figure 10 (12-, 24- and 36-set optimized splits).
 func Fig10Run(opts Options) (*Fig10, error) {
 	f := &Fig10{OptSets: []int{12, 24, 36}}
 	ws := opts.workloads()
+	n := len(ws)
 	for _, w := range ws {
 		f.Names = append(f.Names, w.Name)
 	}
-	baseTime := make([]float64, len(ws))
-	for wi, w := range ws {
-		base, err := RunOne(pipeline.Icelake(), w, opts)
-		if err != nil {
-			return nil, err
+	// Jobs: n shared baselines, then [split][workload].
+	var jobs []runner.Job[*RunResult]
+	for _, w := range ws {
+		jobs = append(jobs, job(pipeline.Icelake(), w, opts))
+	}
+	for _, optSets := range f.OptSets {
+		for _, w := range ws {
+			jobs = append(jobs, job(pipeline.IcelakeSCC(scc.LevelFull).WithPartitionSplit(optSets), w, opts))
 		}
-		baseTime[wi] = float64(base.Stats.Cycles)
+	}
+	results, sum, err := sweep(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
+	f.Timing = sum
+	baseTime := make([]float64, n)
+	for wi := range ws {
+		baseTime[wi] = float64(results[wi].Stats.Cycles)
 	}
 	f.NormTime = make([][]float64, len(f.OptSets))
-	for si, optSets := range f.OptSets {
-		f.NormTime[si] = make([]float64, len(ws))
-		for wi, w := range ws {
-			cfg := pipeline.IcelakeSCC(scc.LevelFull).WithPartitionSplit(optSets)
-			res, err := RunOne(cfg, w, opts)
-			if err != nil {
-				return nil, err
-			}
+	for si := range f.OptSets {
+		f.NormTime[si] = make([]float64, n)
+		for wi := range ws {
+			res := results[n+si*n+wi]
 			f.NormTime[si][wi] = stats.Ratio(float64(res.Stats.Cycles), baseTime[wi])
 		}
 	}
@@ -391,36 +439,44 @@ type Fig11 struct {
 	// Live-out census at full width: fraction of streams carrying 1, 2,
 	// or more live-outs (§VII-C's 0.62%/0.11% analysis analogue).
 	With1, With2, WithMore float64
+	Timing                 *runner.Summary
 }
 
 // Fig11Run regenerates Figure 11 (64/32/16/8-bit widths).
 func Fig11Run(opts Options) (*Fig11, error) {
 	f := &Fig11{Widths: []int{64, 32, 16, 8}}
 	ws := opts.workloads()
+	n := len(ws)
 	for _, w := range ws {
 		f.Names = append(f.Names, w.Name)
 	}
-	baseTime := make([]float64, len(ws))
-	for wi, w := range ws {
-		base, err := RunOne(pipeline.Icelake(), w, opts)
-		if err != nil {
-			return nil, err
+	// Jobs: n shared baselines, then [width][workload].
+	var jobs []runner.Job[*RunResult]
+	for _, w := range ws {
+		jobs = append(jobs, job(pipeline.Icelake(), w, opts))
+	}
+	for _, width := range f.Widths {
+		for _, w := range ws {
+			jobs = append(jobs, job(pipeline.IcelakeSCC(scc.LevelFull).WithConstWidth(width), w, opts))
 		}
-		baseTime[wi] = float64(base.Stats.Cycles)
+	}
+	results, sum, err := sweep(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
+	f.Timing = sum
+	baseTime := make([]float64, n)
+	for wi := range ws {
+		baseTime[wi] = float64(results[wi].Stats.Cycles)
 	}
 	f.Reduction = make([][]float64, len(f.Widths))
 	f.NormTime = make([][]float64, len(f.Widths))
 	var streams, w1, w2, wm float64
 	for widx, width := range f.Widths {
-		f.Reduction[widx] = make([]float64, len(ws))
-		f.NormTime[widx] = make([]float64, len(ws))
-		for wi, w := range ws {
-			cfg := pipeline.IcelakeSCC(scc.LevelFull).WithConstWidth(width)
-			res, err := RunOne(cfg, w, opts)
-			if err != nil {
-				return nil, err
-			}
-			st := res.Stats
+		f.Reduction[widx] = make([]float64, n)
+		f.NormTime[widx] = make([]float64, n)
+		for wi := range ws {
+			st := results[n+widx*n+wi].Stats
 			f.Reduction[widx][wi] = st.DynamicUopReduction()
 			f.NormTime[widx][wi] = stats.Ratio(float64(st.Cycles), baseTime[wi])
 			if width == 64 {
@@ -490,27 +546,31 @@ type Ext struct {
 	ExtRed    []float64 // with the extension
 	PaperTime []float64 // normalized time vs baseline
 	ExtTime   []float64
+	Timing    *runner.Summary
 }
 
 // ExtRun regenerates the extension comparison.
 func ExtRun(opts Options) (*Ext, error) {
+	ws := opts.workloads()
 	f := &Ext{}
-	for _, w := range opts.workloads() {
-		base, err := RunOne(pipeline.Icelake(), w, opts)
-		if err != nil {
-			return nil, err
-		}
-		paper, err := RunOne(pipeline.IcelakeSCC(scc.LevelFull), w, opts)
-		if err != nil {
-			return nil, err
-		}
-		extCfg := pipeline.IcelakeSCC(scc.LevelFull)
-		extCfg.SCC.EnableFPFold = true
-		extCfg.SCC.EnableComplexFold = true
-		ext, err := RunOne(extCfg, w, opts)
-		if err != nil {
-			return nil, err
-		}
+	extCfg := pipeline.IcelakeSCC(scc.LevelFull)
+	extCfg.SCC.EnableFPFold = true
+	extCfg.SCC.EnableComplexFold = true
+	// Jobs per workload: baseline, paper config, extension.
+	var jobs []runner.Job[*RunResult]
+	for _, w := range ws {
+		jobs = append(jobs,
+			job(pipeline.Icelake(), w, opts),
+			job(pipeline.IcelakeSCC(scc.LevelFull), w, opts),
+			job(extCfg, w, opts))
+	}
+	results, sum, err := sweep(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
+	f.Timing = sum
+	for wi, w := range ws {
+		base, paper, ext := results[3*wi], results[3*wi+1], results[3*wi+2]
 		bt := float64(base.Stats.Cycles)
 		f.Names = append(f.Names, w.Name)
 		f.PaperRed = append(f.PaperRed, paper.Stats.DynamicUopReduction())

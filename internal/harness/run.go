@@ -2,13 +2,20 @@
 // configuration sweeps and regenerates every table and figure of the
 // evaluation section (see DESIGN.md's per-experiment index and
 // EXPERIMENTS.md for measured-vs-paper shapes).
+//
+// Every sweep is scheduled through internal/runner: the (workload,
+// configuration) runs fan out across a worker pool and come back in
+// submission order, so the rendered tables are byte-identical to a serial
+// run no matter the Parallel setting.
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"sccsim/internal/pipeline"
 	"sccsim/internal/power"
+	"sccsim/internal/runner"
 	"sccsim/internal/scc"
 	"sccsim/internal/workloads"
 )
@@ -25,6 +32,15 @@ type RunResult struct {
 // EnergyJ returns total energy in joules.
 func (r *RunResult) EnergyJ() float64 { return r.Energy.Total() }
 
+// CommittedUopCount reports the run's committed micro-ops to the
+// scheduler's telemetry (runner.UopCounter).
+func (r *RunResult) CommittedUopCount() uint64 {
+	if r == nil || r.Stats == nil {
+		return 0
+	}
+	return r.Stats.CommittedUops
+}
+
 // Options tunes experiment runs.
 type Options struct {
 	// MaxUops overrides every workload's default interval length
@@ -34,6 +50,10 @@ type Options struct {
 	Workloads []workloads.Workload
 	// EnergyParams overrides the default energy constants.
 	EnergyParams *power.EnergyParams
+	// Parallel is the sweep worker count: 0 means GOMAXPROCS, 1 runs
+	// with exact serial semantics. Results are order-deterministic
+	// either way.
+	Parallel int
 }
 
 func (o Options) workloads() []workloads.Workload {
@@ -57,9 +77,12 @@ func (o Options) energyParams() power.EnergyParams {
 	return power.DefaultParams()
 }
 
-// RunOne executes one workload under one configuration and returns the
-// measurement.
-func RunOne(cfg pipeline.Config, w workloads.Workload, opts Options) (*RunResult, error) {
+func (o Options) runnerConfig() runner.Config { return runner.Config{Parallel: o.Parallel} }
+
+// Prepare builds the machine for one (workload, configuration) run:
+// it applies the work budget and seeds workload memory. This is the
+// single setup path shared by the harness and all three CLIs.
+func Prepare(cfg pipeline.Config, w workloads.Workload, opts Options) (*pipeline.Machine, error) {
 	cfg.MaxUops = opts.maxUops(w)
 	m, err := pipeline.New(cfg, w.Program())
 	if err != nil {
@@ -67,6 +90,16 @@ func RunOne(cfg pipeline.Config, w workloads.Workload, opts Options) (*RunResult
 	}
 	if w.MemInit != nil {
 		w.MemInit(m.Oracle.Mem)
+	}
+	return m, nil
+}
+
+// measure is the serial core of a single run: prepare, simulate, package
+// the measurement. Sweep jobs call it from pool workers.
+func measure(cfg pipeline.Config, w workloads.Workload, opts Options) (*RunResult, error) {
+	m, err := Prepare(cfg, w, opts)
+	if err != nil {
+		return nil, err
 	}
 	st, err := m.Run()
 	if err != nil {
@@ -91,15 +124,42 @@ func RunOne(cfg pipeline.Config, w workloads.Workload, opts Options) (*RunResult
 	return res, nil
 }
 
+// job wraps one (configuration, workload) run as a schedulable unit.
+func job(cfg pipeline.Config, w workloads.Workload, opts Options) runner.Job[*RunResult] {
+	return runner.Job[*RunResult]{
+		Name: w.Name,
+		Run: func(context.Context) (*RunResult, error) {
+			return measure(cfg, w, opts)
+		},
+	}
+}
+
+// sweep fans the jobs out across the pool and returns results in
+// submission order plus the sweep's telemetry summary.
+func sweep(opts Options, jobs []runner.Job[*RunResult]) ([]*RunResult, *runner.Summary, error) {
+	return runner.Run(context.Background(), opts.runnerConfig(), jobs)
+}
+
+// RunOne executes one workload under one configuration and returns the
+// measurement. Even the single-run path goes through the scheduler so it
+// shares the same fault isolation (a panicking simulation reports an
+// error instead of crashing the caller).
+func RunOne(cfg pipeline.Config, w workloads.Workload, opts Options) (*RunResult, error) {
+	res, _, err := sweep(opts, []runner.Job[*RunResult]{job(cfg, w, opts)})
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
 // RunPair executes a workload under the baseline and one SCC configuration.
 func RunPair(sccCfg pipeline.Config, w workloads.Workload, opts Options) (base, withSCC *RunResult, err error) {
-	base, err = RunOne(pipeline.Icelake(), w, opts)
+	res, _, err := sweep(opts, []runner.Job[*RunResult]{
+		job(pipeline.Icelake(), w, opts),
+		job(sccCfg, w, opts),
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	withSCC, err = RunOne(sccCfg, w, opts)
-	if err != nil {
-		return nil, nil, err
-	}
-	return base, withSCC, nil
+	return res[0], res[1], nil
 }

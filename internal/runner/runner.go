@@ -1,0 +1,183 @@
+// Package runner schedules independent simulation runs across a bounded
+// worker pool. Every experiment in the harness is an embarrassingly
+// parallel sweep — each (workload, configuration) run touches only its
+// own Machine — so the scheduler's job is purely to fan work out and put
+// the results back in a shape the serial code cannot distinguish:
+//
+//   - Deterministic results. Values are returned indexed by submission
+//     order regardless of completion order, so a sweep's rendered tables
+//     are byte-identical to a serial run's.
+//   - Exact serial semantics at Parallel == 1: one worker executes the
+//     jobs strictly in submission order and the first failure prevents
+//     every later job from starting, just like an early return.
+//   - Fault isolation. A panic inside a job is recovered and reported as
+//     that job's error (a *PanicError carrying the stack) instead of
+//     killing the whole sweep's process.
+//   - Fail-fast cancellation. The first job error cancels the shared
+//     context; jobs that have not started yet are marked skipped.
+//   - Telemetry. Each job's wall clock and committed micro-op count are
+//     recorded and aggregated into a Summary (total uops/sec, mean,
+//     standard deviation and p95 of per-job wall time).
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Config tunes a sweep.
+type Config struct {
+	// Parallel is the worker count: 0 (or negative) means GOMAXPROCS,
+	// 1 reproduces exact serial semantics.
+	Parallel int
+}
+
+func (c Config) workers() int {
+	if c.Parallel > 0 {
+		return c.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Job is one schedulable unit of work: a named closure over a workload
+// and a configuration. Run receives the sweep context; it is cancelled
+// once any sibling fails, but jobs are never interrupted mid-simulation —
+// cancellation only prevents queued jobs from starting.
+type Job[T any] struct {
+	Name string
+	Run  func(ctx context.Context) (T, error)
+}
+
+// UopCounter is implemented by result types that can report the committed
+// micro-op count of their run; the scheduler uses it to fill in per-job
+// throughput telemetry without depending on any simulator package.
+type UopCounter interface {
+	CommittedUopCount() uint64
+}
+
+// PanicError reports a job that panicked. The sweep survives: the panic
+// is converted into the job's error and siblings are cancelled like any
+// other failure.
+type PanicError struct {
+	Job   string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("job %q panicked: %v", e.Job, e.Value)
+}
+
+// Run executes jobs on the pool and returns their values in submission
+// order, a telemetry summary, and the first (lowest-index) job error.
+// On error the values slice still holds every result completed before
+// cancellation took effect; failed or skipped slots are zero.
+//
+// If the caller's context is cancelled before all jobs start, the
+// remaining jobs are skipped and ctx.Err() is returned (unless a job
+// error takes precedence).
+func Run[T any](ctx context.Context, cfg Config, jobs []Job[T]) ([]T, *Summary, error) {
+	n := len(jobs)
+	values := make([]T, n)
+	perJob := make([]JobStats, n)
+	sum := &Summary{Workers: cfg.workers()}
+	if n == 0 {
+		return values, sum, ctx.Err()
+	}
+	if sum.Workers > n {
+		sum.Workers = n
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	start := time.Now()
+	next := make(chan int)
+	feederDone := make(chan struct{})
+	go func() {
+		// Feed indices in submission order; on cancellation mark every
+		// unfed job skipped. Workers own the slots they pulled, the
+		// feeder owns the rest, so the writes never overlap.
+		defer close(feederDone)
+		defer close(next)
+		for i := range jobs {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				for j := i; j < n; j++ {
+					perJob[j] = JobStats{Name: jobs[j].Name, Index: j, Skipped: true}
+				}
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < sum.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				js := JobStats{Name: jobs[i].Name, Index: i}
+				if ctx.Err() != nil {
+					// Pulled before cancellation landed, but not started.
+					js.Skipped = true
+					perJob[i] = js
+					continue
+				}
+				t0 := time.Now()
+				v, err := runShielded(ctx, jobs[i])
+				js.Wall = time.Since(t0)
+				if err != nil {
+					js.Err = err
+					cancel()
+				} else {
+					values[i] = v
+					if uc, ok := any(v).(UopCounter); ok {
+						js.Uops = uc.CommittedUopCount()
+					}
+				}
+				perJob[i] = js
+			}
+		}()
+	}
+	wg.Wait()
+	<-feederDone
+	sum.Wall = time.Since(start)
+	sum.Jobs = perJob
+
+	var firstErr error
+	for i := range perJob {
+		switch {
+		case perJob[i].Skipped:
+			sum.Skipped++
+		case perJob[i].Err != nil:
+			sum.Failed++
+			if firstErr == nil {
+				firstErr = perJob[i].Err
+			}
+		default:
+			sum.Completed++
+			sum.TotalUops += perJob[i].Uops
+		}
+	}
+	if firstErr == nil && ctx.Err() != nil {
+		firstErr = context.Cause(ctx)
+	}
+	return values, sum, firstErr
+}
+
+// runShielded executes one job, converting a panic into a *PanicError so
+// a crashed simulation reports instead of taking down the sweep.
+func runShielded[T any](ctx context.Context, j Job[T]) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Job: j.Name, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return j.Run(ctx)
+}

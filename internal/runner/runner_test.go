@@ -1,0 +1,205 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeResult carries a fabricated uop count through the UopCounter hook.
+type fakeResult struct{ uops uint64 }
+
+func (f fakeResult) CommittedUopCount() uint64 { return f.uops }
+
+func TestResultsInSubmissionOrder(t *testing.T) {
+	const n = 32
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Name: fmt.Sprintf("j%d", i), Run: func(context.Context) (int, error) {
+			// Stagger completion so later submissions finish earlier.
+			time.Sleep(time.Duration((n-i)%7) * time.Millisecond)
+			return i * 10, nil
+		}}
+	}
+	values, sum, err := Run(context.Background(), Config{Parallel: 8}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range values {
+		if v != i*10 {
+			t.Errorf("values[%d] = %d, want %d", i, v, i*10)
+		}
+	}
+	if sum.Completed != n || sum.Failed != 0 || sum.Skipped != 0 {
+		t.Errorf("summary counts = %d/%d/%d", sum.Completed, sum.Failed, sum.Skipped)
+	}
+	if sum.Workers != 8 {
+		t.Errorf("workers = %d", sum.Workers)
+	}
+	for i, js := range sum.Jobs {
+		if js.Index != i || js.Name != fmt.Sprintf("j%d", i) {
+			t.Errorf("job stats %d = %+v out of order", i, js)
+		}
+	}
+}
+
+func TestSerialSemanticsAtParallelOne(t *testing.T) {
+	var order []int // single worker: no lock needed, read after Run returns
+	boom := errors.New("boom")
+	jobs := make([]Job[int], 10)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Name: fmt.Sprintf("j%d", i), Run: func(context.Context) (int, error) {
+			order = append(order, i)
+			if i == 4 {
+				return 0, boom
+			}
+			return i, nil
+		}}
+	}
+	values, sum, err := Run(context.Background(), Config{Parallel: 1}, jobs)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// Jobs ran strictly in submission order and stopped at the failure,
+	// exactly like a serial loop with an early return.
+	if len(order) != 5 {
+		t.Fatalf("executed %v, want exactly jobs 0..4", order)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("execution order %v not sequential", order)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if values[i] != i {
+			t.Errorf("values[%d] = %d", i, values[i])
+		}
+	}
+	if sum.Completed != 4 || sum.Failed != 1 || sum.Skipped != 5 {
+		t.Errorf("summary counts = %d/%d/%d", sum.Completed, sum.Failed, sum.Skipped)
+	}
+	for _, js := range sum.Jobs[5:] {
+		if !js.Skipped {
+			t.Errorf("job %d not marked skipped", js.Index)
+		}
+	}
+}
+
+func TestPanicBecomesJobError(t *testing.T) {
+	jobs := []Job[int]{
+		{Name: "ok", Run: func(context.Context) (int, error) { return 7, nil }},
+		{Name: "crash", Run: func(context.Context) (int, error) { panic("simulated machine wedged") }},
+	}
+	values, sum, err := Run(context.Background(), Config{Parallel: 1}, jobs)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Job != "crash" || !strings.Contains(pe.Error(), "simulated machine wedged") {
+		t.Errorf("panic error = %v", pe)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("panic error lost the stack")
+	}
+	if values[0] != 7 {
+		t.Errorf("sibling completed before the crash lost its value: %d", values[0])
+	}
+	if sum.Failed != 1 || sum.Completed != 1 {
+		t.Errorf("summary counts = %+v", sum)
+	}
+}
+
+func TestFirstErrorBySubmissionOrderWins(t *testing.T) {
+	// Gate all four jobs so each starts before any finishes: every one
+	// records an error, and Run must report the lowest-indexed one.
+	var gate sync.WaitGroup
+	gate.Add(4)
+	errs := make([]error, 4)
+	jobs := make([]Job[int], 4)
+	for i := range jobs {
+		i := i
+		errs[i] = fmt.Errorf("err%d", i)
+		jobs[i] = Job[int]{Run: func(context.Context) (int, error) {
+			gate.Done()
+			gate.Wait()
+			return 0, errs[i]
+		}}
+	}
+	_, sum, err := Run(context.Background(), Config{Parallel: 4}, jobs)
+	if !errors.Is(err, errs[0]) {
+		t.Errorf("err = %v, want err0", err)
+	}
+	if sum.Failed != 4 {
+		t.Errorf("failed = %d, want 4", sum.Failed)
+	}
+}
+
+func TestCallerCancellationSkipsEverything(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	jobs := []Job[int]{{Run: func(context.Context) (int, error) { ran = true; return 1, nil }}}
+	_, sum, err := Run(ctx, Config{Parallel: 2}, jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Error("job ran under a cancelled context")
+	}
+	if sum.Skipped != 1 {
+		t.Errorf("skipped = %d", sum.Skipped)
+	}
+}
+
+func TestTelemetryAggregation(t *testing.T) {
+	jobs := make([]Job[fakeResult], 5)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[fakeResult]{Name: fmt.Sprintf("w%d", i), Run: func(context.Context) (fakeResult, error) {
+			return fakeResult{uops: uint64(1000 * (i + 1))}, nil
+		}}
+	}
+	_, sum, err := Run(context.Background(), Config{Parallel: 0}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.TotalUops != 1000+2000+3000+4000+5000 {
+		t.Errorf("total uops = %d", sum.TotalUops)
+	}
+	for _, js := range sum.Jobs {
+		if js.Uops != uint64(1000*(js.Index+1)) {
+			t.Errorf("job %d uops = %d", js.Index, js.Uops)
+		}
+	}
+	if sum.Wall <= 0 {
+		t.Error("missing sweep wall clock")
+	}
+	line := sum.String()
+	for _, frag := range []string{"5 runs", "uops/s", "per-run mean"} {
+		if !strings.Contains(line, frag) {
+			t.Errorf("summary line %q missing %q", line, frag)
+		}
+	}
+}
+
+func TestZeroJobsAndWorkerCap(t *testing.T) {
+	values, sum, err := Run[int](context.Background(), Config{}, nil)
+	if err != nil || len(values) != 0 || len(sum.Jobs) != 0 {
+		t.Errorf("empty sweep: values=%v sum=%+v err=%v", values, sum, err)
+	}
+	// The pool never exceeds the job count.
+	_, sum, err = Run(context.Background(), Config{Parallel: 64},
+		[]Job[int]{{Run: func(context.Context) (int, error) { return 1, nil }}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Workers != 1 {
+		t.Errorf("workers = %d, want capped at 1", sum.Workers)
+	}
+}

@@ -6,6 +6,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Mean returns the arithmetic mean (0 for empty input).
@@ -62,6 +63,47 @@ func Max(xs []float64) float64 {
 		}
 	}
 	return m
+}
+
+// Stddev returns the sample standard deviation (0 for fewer than two
+// values).
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Percentile returns the p-th percentile (p in [0, 100]) using linear
+// interpolation between closest ranks; p outside the range is clamped.
+// Returns 0 for empty input. The input is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
 // Ratio returns a/b, guarding division by zero.

@@ -61,6 +61,62 @@ func TestMinMax(t *testing.T) {
 	}
 }
 
+func TestStddev(t *testing.T) {
+	if Stddev(nil) != 0 || Stddev([]float64{5}) != 0 {
+		t.Error("stddev needs at least two values")
+	}
+	// Sample stddev of {2,4,4,4,5,5,7,9} is sqrt(32/7).
+	got := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if want := math.Sqrt(32.0 / 7.0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("stddev = %v, want %v", got, want)
+	}
+	if got := Stddev([]float64{3, 3, 3}); got != 0 {
+		t.Errorf("stddev of constant series = %v", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if Percentile(nil, 50) != 0 {
+		t.Error("percentile of empty should be 0")
+	}
+	xs := []float64{40, 10, 30, 20} // unsorted on purpose
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5}, {75, 32.5},
+		{-5, 10}, {120, 40}, // clamped
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("p%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Input must not be reordered.
+	if xs[0] != 40 || xs[3] != 20 {
+		t.Errorf("Percentile mutated its input: %v", xs)
+	}
+	if got := Percentile([]float64{7}, 50); got != 7 {
+		t.Errorf("single-element percentile = %v", got)
+	}
+}
+
+func TestPercentileBounded(t *testing.T) {
+	f := func(raw []float64, p float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		got := Percentile(xs, math.Mod(math.Abs(p), 100))
+		return got >= Min(xs)-1e-9 && got <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestRatioAndSpeedup(t *testing.T) {
 	if Ratio(1, 0) != 0 {
 		t.Error("division by zero must yield 0")

@@ -33,6 +33,7 @@ import (
 	"sccsim/internal/asm"
 	"sccsim/internal/harness"
 	"sccsim/internal/pipeline"
+	"sccsim/internal/runner"
 	"sccsim/internal/scc"
 	"sccsim/internal/workloads"
 )
@@ -72,8 +73,15 @@ const (
 // report and cache activity.
 type RunResult = harness.RunResult
 
-// Options tunes experiment runs (interval length, workload subset).
+// Options tunes experiment runs (interval length, workload subset, and
+// the sweep worker count: Parallel = 0 means GOMAXPROCS, 1 runs serially;
+// results are order-deterministic either way).
 type Options = harness.Options
+
+// SweepSummary is the per-run telemetry a sweep aggregates (wall clock,
+// committed micro-ops, uops/sec); every experiment result carries one in
+// its Timing field.
+type SweepSummary = runner.Summary
 
 // Assemble assembles UXA source text (see examples/customworkload for the
 // dialect) into a Program.
@@ -92,6 +100,13 @@ func SCCConfig(level OptLevel) Config { return pipeline.IcelakeSCC(level) }
 // additional memory (large data structures) through m.Oracle.Mem before
 // calling Run.
 func NewMachine(cfg Config, p *Program) (*Machine, error) { return pipeline.New(cfg, p) }
+
+// Prepare builds a machine for one built-in workload through the shared
+// setup path every CLI uses: it applies the Options work budget and seeds
+// the workload's memory initializer.
+func Prepare(cfg Config, w Workload, opts Options) (*Machine, error) {
+	return harness.Prepare(cfg, w, opts)
+}
 
 // Workloads returns the 19 built-in kernels (11 SPEC CPU 2017 stand-ins,
 // then 8 PARSEC 3.0 stand-ins).
