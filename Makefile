@@ -3,8 +3,8 @@
 
 GO ?= go
 
-.PHONY: all build test check bench figures fig6 fig7 fig8 fig9 fig10 fig11 \
-        table1 overhead examples clean
+.PHONY: all build test check bench bench-json figures fig6 fig7 fig8 fig9 \
+        fig10 fig11 table1 overhead examples clean
 
 all: build test
 
@@ -14,16 +14,29 @@ build:
 test:
 	$(GO) test ./...
 
-# Full verification: build, vet, and the test suite under the race
-# detector (the sweep scheduler is concurrent).
+# Full verification: build, vet, the test suite under the race detector
+# (the sweep scheduler is concurrent), and the manifest round-trip smoke
+# test (bench-json encodes every manifest with built-in decode/re-encode
+# verification).
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) bench-json
 
 # Reduced-scale benchmark suite: one bench per table/figure + ablations.
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Machine-readable benchmark artifact: a reduced-scale fig6+fig7 sweep
+# writes per-run JSON manifests (Manifest.Encode verifies each one
+# round-trips through encoding/json) and the aggregate index becomes
+# BENCH_pr2.json — the headline numbers a perf trajectory can diff.
+bench-json:
+	rm -rf manifests
+	$(GO) run ./cmd/sccbench -experiment fig6,fig7 \
+	    -workloads xalancbmk,mcf,lbm -max-uops 30000 -json manifests > /dev/null
+	cp manifests/index.json BENCH_pr2.json
 
 # Full-scale regeneration of every table and figure (a few minutes).
 figures:

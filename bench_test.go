@@ -153,6 +153,36 @@ func benchWorkload(b *testing.B, name string, cfg pipeline.Config) {
 	b.ReportMetric(res.Stats.DynamicUopReduction()*100, "reduction-%")
 }
 
+// BenchmarkSamplerOverhead measures the cost of the observability layer's
+// interval sampling against the same run with sampling disabled (the
+// default). The hook is a nil-check per commit group when off and a
+// Stats copy per 10k committed uops when on; the acceptance bar for the
+// obs layer is ≤5% overhead.
+func BenchmarkSamplerOverhead(b *testing.B) {
+	w, ok := workloads.ByName("xalancbmk")
+	if !ok {
+		b.Fatal("unknown workload")
+	}
+	for _, every := range []uint64{0, 10_000} {
+		nm := "sampling-off"
+		if every > 0 {
+			nm = "sampling-10k"
+		}
+		b.Run(nm, func(b *testing.B) {
+			opts := Options{MaxUops: 25_000, SampleEvery: every}
+			var res *RunResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = Run(SCCConfig(LevelFull), w, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(res.Samples)), "intervals")
+		})
+	}
+}
+
 func BenchmarkSimBaselineXalancbmk(b *testing.B) { benchWorkload(b, "xalancbmk", BaselineConfig()) }
 func BenchmarkSimSCCXalancbmk(b *testing.B)      { benchWorkload(b, "xalancbmk", SCCConfig(LevelFull)) }
 func BenchmarkSimSCCMcf(b *testing.B)            { benchWorkload(b, "mcf", SCCConfig(LevelFull)) }

@@ -7,7 +7,14 @@
 //	sccsim -workload xalancbmk                          # baseline
 //	sccsim -workload xalancbmk -enable-superoptimization
 //	sccsim -program my.uxa -enable-superoptimization -lvpred h3vp
+//	sccsim -workload mcf -json run.json -trace run.trace
 //	sccsim -list
+//
+// -json writes the machine-readable run manifest (config, stats, energy,
+// interval-sampled telemetry); -trace writes a Chrome trace-event file
+// viewable in Perfetto. Either flag enables interval sampling (every
+// -sample-interval committed uops). -cpuprofile/-memprofile profile the
+// simulator itself.
 package main
 
 import (
@@ -19,12 +26,16 @@ import (
 	"sccsim"
 	"sccsim/internal/asm"
 	"sccsim/internal/harness"
+	"sccsim/internal/obs"
+	"sccsim/internal/runner"
 	"sccsim/internal/scc"
 	"sccsim/internal/stats"
 	"sccsim/internal/workloads"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		workload = flag.String("workload", "", "built-in workload name (see -list)")
 		program  = flag.String("program", "", "path to a UXA assembly file to run instead")
@@ -39,6 +50,12 @@ func main() {
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"sweep worker count for library Options plumbing (a single run uses one)")
 		verbose = flag.Bool("v", false, "print the full counter dump")
+
+		jsonPath   = flag.String("json", "", "write the JSON run manifest to this path")
+		tracePath  = flag.String("trace", "", "write a Chrome trace-event (Perfetto) file to this path")
+		sampleIv   = flag.Uint64("sample-interval", 10_000, "telemetry sampling interval in committed uops (with -json/-trace)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the simulator to this path")
+		memProfile = flag.String("memprofile", "", "write a heap profile of the simulator to this path")
 	)
 	flag.Parse()
 
@@ -46,8 +63,19 @@ func main() {
 		for _, w := range sccsim.Workloads() {
 			fmt.Printf("%-14s %-7s %-16s %s\n", w.Name, w.Suite, w.Class, w.Description)
 		}
-		return
+		return 0
 	}
+
+	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sccsim: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(os.Stderr, "sccsim: %v\n", err)
+		}
+	}()
 
 	cfg := sccsim.BaselineConfig()
 	if *enable {
@@ -61,42 +89,79 @@ func main() {
 	}
 
 	opts := sccsim.Options{MaxUops: *maxUops, Parallel: *parallel}
+	if *jsonPath != "" || *tracePath != "" {
+		opts.SampleEvery = *sampleIv
+	}
 	var res *harness.RunResult
-	var err error
+	var sum *runner.Summary
 	switch {
 	case *program != "":
-		res, err = runFile(cfg, *program, opts)
+		res, sum, err = runFile(cfg, *program, opts)
 	case *workload != "":
 		w, ok := sccsim.WorkloadByName(*workload)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "sccsim: unknown workload %q (try -list)\n", *workload)
-			os.Exit(2)
+			return 2
 		}
-		res, err = sccsim.Run(cfg, w, opts)
+		res, sum, err = harness.RunOneTimed(cfg, w, opts)
 	default:
 		fmt.Fprintln(os.Stderr, "sccsim: need -workload or -program (or -list)")
-		os.Exit(2)
+		return 2
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sccsim: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	report(res, *verbose)
+	if err := writeArtifacts(res, sum, *jsonPath, *tracePath); err != nil {
+		fmt.Fprintf(os.Stderr, "sccsim: %v\n", err)
+		return 1
+	}
+	return 0
 }
 
-func runFile(cfg sccsim.Config, path string, opts sccsim.Options) (*harness.RunResult, error) {
+// writeArtifacts emits the -json manifest and -trace file for the run.
+func writeArtifacts(res *harness.RunResult, sum *runner.Summary, jsonPath, tracePath string) error {
+	if jsonPath != "" {
+		man := res.Manifest()
+		if sum != nil && len(sum.Jobs) > 0 {
+			js := sum.Jobs[0]
+			man.Timing = &obs.Timing{
+				WallMS:     js.Wall.Seconds() * 1e3,
+				UopsPerSec: js.UopsPerSec(),
+				Workers:    sum.Workers,
+			}
+		}
+		if err := man.WriteFile(jsonPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "sccsim: wrote manifest %s (%d sample intervals)\n",
+			jsonPath, len(man.Samples))
+	}
+	if tracePath != "" {
+		tr := obs.NewTrace()
+		tr.AddSweep("sccsim "+res.Workload, 1, sum, map[int][]obs.Interval{0: res.Samples})
+		if err := tr.WriteFile(tracePath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "sccsim: wrote trace %s (open at ui.perfetto.dev)\n", tracePath)
+	}
+	return nil
+}
+
+func runFile(cfg sccsim.Config, path string, opts sccsim.Options) (*harness.RunResult, *runner.Summary, error) {
 	src, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if _, err := asm.Assemble(string(src)); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if opts.MaxUops == 0 {
 		opts.MaxUops = 1 << 62
 	}
 	w := workloads.Workload{Name: path, Source: string(src), DefaultMaxUops: opts.MaxUops}
-	return harness.RunOne(cfg, w, opts)
+	return harness.RunOneTimed(cfg, w, opts)
 }
 
 func report(res *harness.RunResult, verbose bool) {

@@ -16,11 +16,14 @@ import (
 	"sort"
 
 	"sccsim"
+	"sccsim/internal/obs"
 	"sccsim/internal/scc"
 	"sccsim/internal/uopcache"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		workload = flag.String("workload", "", "built-in workload name")
 		maxUops  = flag.Uint64("max-uops", 0, "program-work budget (0 = workload default)")
@@ -28,17 +31,29 @@ func main() {
 		level    = flag.Int("scc-level", int(scc.LevelFull), "SCC optimization level 2..5")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"sweep worker count for library Options plumbing (a single trace uses one)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the simulator to this path")
+		memProfile = flag.String("memprofile", "", "write a heap profile of the simulator to this path")
 	)
 	flag.Parse()
 	if *workload == "" {
 		fmt.Fprintln(os.Stderr, "scctrace: need -workload (see sccsim -list)")
-		os.Exit(2)
+		return 2
 	}
 	w, ok := sccsim.WorkloadByName(*workload)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "scctrace: unknown workload %q\n", *workload)
-		os.Exit(2)
+		return 2
 	}
+	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scctrace:", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "scctrace:", err)
+		}
+	}()
 	// The same Options plumbing and machine setup path as sccsim/sccbench
 	// (budget override + workload memory init) — scctrace keeps the
 	// Machine because it inspects the optimized partition after the run.
@@ -46,12 +61,12 @@ func main() {
 	m, err := sccsim.Prepare(sccsim.SCCConfig(scc.Level(*level)), w, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scctrace:", err)
-		os.Exit(1)
+		return 1
 	}
 	st, err := m.Run()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scctrace:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	u := m.Unit.Stats
@@ -78,6 +93,7 @@ func main() {
 	for _, l := range lines {
 		dumpLine(l)
 	}
+	return 0
 }
 
 func dumpLine(l *uopcache.Line) {

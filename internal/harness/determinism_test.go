@@ -87,3 +87,43 @@ func TestSweepTelemetryCountsUops(t *testing.T) {
 		}
 	}
 }
+
+// TestManifestBytesStableAcrossParallelism extends the byte-identity
+// guarantee to the observability artifacts: the normalized JSON
+// manifests of a sampled sweep (interval series included) are
+// byte-identical whether the sweep ran serially or across 8 workers,
+// and across repeated runs. Timing and the VCS stamp are the only
+// nondeterministic fields, and Normalize strips exactly those.
+func TestManifestBytesStableAcrossParallelism(t *testing.T) {
+	render := func(parallel int) []byte {
+		opts := smallOpts(t, "xalancbmk", "lbm", "mcf")
+		opts.MaxUops = 20_000
+		opts.Parallel = parallel
+		opts.SampleEvery = 5_000
+		var buf bytes.Buffer
+		opts.OnResult = func(i int, r *RunResult) {
+			if len(r.Samples) == 0 {
+				t.Errorf("run %d (%s) collected no interval series", i, r.Workload)
+			}
+			if err := r.Manifest().Normalize().Encode(&buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := Fig6Run(opts); err != nil {
+			t.Fatal(err)
+		}
+		if buf.Len() == 0 {
+			t.Fatal("OnResult never fired")
+		}
+		return buf.Bytes()
+	}
+	serial := render(1)
+	again := render(1)
+	parallel := render(8)
+	if !bytes.Equal(serial, again) {
+		t.Error("manifests differ between repeated serial runs")
+	}
+	if !bytes.Equal(serial, parallel) {
+		t.Error("manifests differ between serial and 8-worker sweeps")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 
+	"sccsim/internal/obs"
 	"sccsim/internal/pipeline"
 	"sccsim/internal/power"
 	"sccsim/internal/runner"
@@ -23,10 +24,23 @@ import (
 // RunResult is one (workload, configuration) measurement.
 type RunResult struct {
 	Workload string
-	Stats    *pipeline.Stats
-	Energy   power.Report
-	Mem      power.CacheCounts
-	Unit     *scc.UnitStats // nil for baselines
+	// Config is the effective machine configuration the run executed
+	// under (work budget applied) — what the manifest content-hashes.
+	Config pipeline.Config
+	Stats  *pipeline.Stats
+	Energy power.Report
+	Mem    power.CacheCounts
+	Unit   *scc.UnitStats // nil for baselines
+	// Samples is the interval-sampled telemetry series; nil unless
+	// Options.SampleEvery enabled sampling.
+	Samples []obs.Interval
+}
+
+// Manifest assembles the run's machine-readable JSON artifact. Attach
+// wall-clock telemetry (nondeterministic) via the Timing field afterwards
+// if wanted; everything Manifest itself fills is deterministic.
+func (r *RunResult) Manifest() *obs.Manifest {
+	return obs.NewManifest(r.Workload, r.Config, r.Stats, r.Energy, r.Mem, r.Unit, r.Samples)
 }
 
 // EnergyJ returns total energy in joules.
@@ -54,6 +68,18 @@ type Options struct {
 	// with exact serial semantics. Results are order-deterministic
 	// either way.
 	Parallel int
+	// SampleEvery enables interval-sampled telemetry: every N committed
+	// micro-ops the pipeline snapshots its stats into the run's Samples
+	// series (obs.Interval deltas). 0 (the default) disables sampling.
+	SampleEvery uint64
+	// OnResult, when non-nil, is invoked for every completed run of a
+	// sweep in submission order after the sweep returns; i is the job's
+	// submission index. Used by the CLIs to write per-run manifests.
+	// Not called when the sweep fails.
+	OnResult func(i int, r *RunResult)
+	// Progress is forwarded to the scheduler's live progress hook
+	// (runner.Config.Progress); the hook must not affect results.
+	Progress func(runner.ProgressEvent)
 }
 
 func (o Options) workloads() []workloads.Workload {
@@ -77,7 +103,9 @@ func (o Options) energyParams() power.EnergyParams {
 	return power.DefaultParams()
 }
 
-func (o Options) runnerConfig() runner.Config { return runner.Config{Parallel: o.Parallel} }
+func (o Options) runnerConfig() runner.Config {
+	return runner.Config{Parallel: o.Parallel, Progress: o.Progress}
+}
 
 // Prepare builds the machine for one (workload, configuration) run:
 // it applies the work budget and seeds workload memory. This is the
@@ -101,6 +129,11 @@ func measure(cfg pipeline.Config, w workloads.Workload, opts Options) (*RunResul
 	if err != nil {
 		return nil, err
 	}
+	var sampler *obs.Sampler
+	if opts.SampleEvery > 0 {
+		sampler = obs.NewSampler(opts.SampleEvery)
+		sampler.Attach(m)
+	}
 	st, err := m.Run()
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s: %w", w.Name, err)
@@ -113,6 +146,7 @@ func measure(cfg pipeline.Config, w workloads.Workload, opts Options) (*RunResul
 	}
 	res := &RunResult{
 		Workload: w.Name,
+		Config:   m.Cfg,
 		Stats:    st,
 		Energy:   power.Energy(opts.energyParams(), st, mem),
 		Mem:      mem,
@@ -120,6 +154,9 @@ func measure(cfg pipeline.Config, w workloads.Workload, opts Options) (*RunResul
 	if m.Unit != nil {
 		u := m.Unit.Stats
 		res.Unit = &u
+	}
+	if sampler != nil {
+		res.Samples = sampler.Finalize(st)
 	}
 	return res, nil
 }
@@ -135,9 +172,18 @@ func job(cfg pipeline.Config, w workloads.Workload, opts Options) runner.Job[*Ru
 }
 
 // sweep fans the jobs out across the pool and returns results in
-// submission order plus the sweep's telemetry summary.
+// submission order plus the sweep's telemetry summary. On success every
+// result is also handed to Options.OnResult in submission order.
 func sweep(opts Options, jobs []runner.Job[*RunResult]) ([]*RunResult, *runner.Summary, error) {
-	return runner.Run(context.Background(), opts.runnerConfig(), jobs)
+	results, sum, err := runner.Run(context.Background(), opts.runnerConfig(), jobs)
+	if err == nil && opts.OnResult != nil {
+		for i, r := range results {
+			if r != nil {
+				opts.OnResult(i, r)
+			}
+		}
+	}
+	return results, sum, err
 }
 
 // RunOne executes one workload under one configuration and returns the
@@ -145,11 +191,19 @@ func sweep(opts Options, jobs []runner.Job[*RunResult]) ([]*RunResult, *runner.S
 // shares the same fault isolation (a panicking simulation reports an
 // error instead of crashing the caller).
 func RunOne(cfg pipeline.Config, w workloads.Workload, opts Options) (*RunResult, error) {
-	res, _, err := sweep(opts, []runner.Job[*RunResult]{job(cfg, w, opts)})
+	res, _, err := RunOneTimed(cfg, w, opts)
+	return res, err
+}
+
+// RunOneTimed is RunOne plus the scheduler's telemetry summary for the
+// single-job sweep — what the CLIs feed the trace exporter and the
+// manifest's Timing section.
+func RunOneTimed(cfg pipeline.Config, w workloads.Workload, opts Options) (*RunResult, *runner.Summary, error) {
+	res, sum, err := sweep(opts, []runner.Job[*RunResult]{job(cfg, w, opts)})
 	if err != nil {
-		return nil, err
+		return nil, sum, err
 	}
-	return res[0], nil
+	return res[0], sum, nil
 }
 
 // RunPair executes a workload under the baseline and one SCC configuration.

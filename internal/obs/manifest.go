@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"sccsim/internal/pipeline"
+	"sccsim/internal/power"
+	"sccsim/internal/scc"
+)
+
+// Manifest is the machine-readable artifact of one (workload,
+// configuration) run: everything a result cache, a BENCH trajectory, or
+// a downstream service needs to reuse the measurement without re-running
+// it. All fields except Timing and GitRevision are deterministic for a
+// given simulator version, so manifests are byte-stable across runs and
+// across -parallel settings once Normalize is applied.
+type Manifest struct {
+	Schema      int    `json:"schema"`
+	SimVersion  string `json:"sim_version"`
+	GitRevision string `json:"git_revision,omitempty"`
+
+	Workload string `json:"workload"`
+	// ConfigHash content-addresses the run: SHA-256 over (SimVersion,
+	// Workload, Config) — Config includes MaxUops, so the hash is the
+	// result-cache key the ROADMAP asks for, invalidated by version bumps.
+	ConfigHash string          `json:"config_hash"`
+	Config     pipeline.Config `json:"config"`
+
+	Stats   *pipeline.Stats   `json:"stats"`
+	Derived Derived           `json:"derived"`
+	Energy  power.Report      `json:"energy"`
+	Mem     power.CacheCounts `json:"cache_counts"`
+	Unit    *scc.UnitStats    `json:"scc_unit,omitempty"`
+
+	// Samples is the interval series (present when sampling was enabled).
+	Samples []Interval `json:"samples,omitempty"`
+
+	// Timing is wall-clock metadata — deliberately nondeterministic and
+	// therefore split out so Normalize can strip it for byte comparisons.
+	Timing *Timing `json:"timing,omitempty"`
+}
+
+// Derived holds the headline metrics recomputed from Stats for direct
+// consumption (dashboards, BENCH files) without re-deriving them.
+type Derived struct {
+	IPC                 float64 `json:"ipc"`
+	DynamicUopReduction float64 `json:"dynamic_uop_reduction"`
+	BranchMPKI          float64 `json:"branch_mpki"`
+	SquashOverhead      float64 `json:"squash_overhead"`
+	EnergyJ             float64 `json:"energy_j"`
+}
+
+// Timing is the run's wall-clock telemetry from the sweep scheduler.
+type Timing struct {
+	WallMS     float64 `json:"wall_ms"`
+	UopsPerSec float64 `json:"uops_per_sec"`
+	Workers    int     `json:"workers,omitempty"`
+}
+
+// NewManifest assembles the manifest for one finished run. The config
+// must be the effective one (work budget applied), i.e. Machine.Cfg.
+func NewManifest(workload string, cfg pipeline.Config, st *pipeline.Stats,
+	energy power.Report, mem power.CacheCounts, unit *scc.UnitStats,
+	samples []Interval) *Manifest {
+	m := &Manifest{
+		Schema:      SchemaVersion,
+		SimVersion:  Version,
+		GitRevision: gitRevision(),
+		Workload:    workload,
+		ConfigHash:  ConfigHash(workload, cfg),
+		Config:      cfg,
+		Stats:       st,
+		Energy:      energy,
+		Mem:         mem,
+		Unit:        unit,
+		Samples:     samples,
+	}
+	if st != nil {
+		m.Derived = Derived{
+			IPC:                 st.IPC(),
+			DynamicUopReduction: st.DynamicUopReduction(),
+			BranchMPKI:          st.BranchMPKI(),
+			SquashOverhead:      st.SquashOverhead(),
+			EnergyJ:             energy.Total(),
+		}
+	}
+	return m
+}
+
+// ConfigHash content-addresses a (workload, configuration) pair under the
+// current simulator version: equal hashes imply byte-identical manifests
+// (modulo Timing), which is what makes manifests safe to use as result-
+// cache keys and idempotent to overwrite.
+func ConfigHash(workload string, cfg pipeline.Config) string {
+	key, err := json.Marshal(struct {
+		SimVersion string
+		Workload   string
+		Config     pipeline.Config
+	}{Version, workload, cfg})
+	if err != nil {
+		// Config is plain data; Marshal cannot fail on it. Keep the
+		// signature hash-like anyway.
+		return "unhashable"
+	}
+	sum := sha256.Sum256(key)
+	return hex.EncodeToString(sum[:])
+}
+
+// Normalize strips the nondeterministic fields (wall-clock timing, VCS
+// stamp) so two manifests of the same run compare byte-identical. It
+// returns the manifest for chaining.
+func (m *Manifest) Normalize() *Manifest {
+	m.Timing = nil
+	m.GitRevision = ""
+	return m
+}
+
+// Encode writes the manifest as indented JSON and verifies it round-trips
+// through encoding/json (decode + re-encode reproduces the same bytes) —
+// the smoke test that guards the schema against unserializable or lossy
+// fields creeping in.
+func (m *Manifest) Encode(w io.Writer) error {
+	out, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: encode manifest: %w", err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(out, &back); err != nil {
+		return fmt.Errorf("obs: manifest does not round-trip: %w", err)
+	}
+	out2, err := json.MarshalIndent(&back, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: re-encode manifest: %w", err)
+	}
+	if !bytes.Equal(out, out2) {
+		return fmt.Errorf("obs: manifest round-trip is lossy (schema %d)", m.Schema)
+	}
+	_, err = w.Write(append(out, '\n'))
+	return err
+}
+
+// WriteFile encodes the manifest to path (0644, truncating).
+func (m *Manifest) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadManifest loads a manifest back from disk (the consumer side of the
+// artifact: result caches, BENCH trajectory tooling, sccserve).
+func ReadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("obs: %s: %w", path, err)
+	}
+	return &m, nil
+}

@@ -1,0 +1,41 @@
+// Package obs is the simulator's observability layer: interval-sampled
+// telemetry over pipeline.Stats, machine-readable JSON run manifests,
+// Chrome trace-event (catapult) export of sweep schedules, live sweep
+// progress reporting, and pprof plumbing for the CLIs.
+//
+// Everything here is strictly an observer: sampling taps read Stats
+// snapshots the pipeline pushes, manifests serialize finished
+// measurements, and traces re-render scheduler telemetry. None of it
+// feeds back into simulation results, so enabling observability never
+// perturbs determinism — the manifests themselves are byte-stable across
+// runs and across -parallel settings once the wall-clock Timing section
+// is stripped (Manifest.Normalize).
+package obs
+
+import "runtime/debug"
+
+// Version identifies the simulator release a manifest was produced by.
+// Bumping it invalidates content hashes (ConfigHash folds it in), which
+// is exactly the invalidation rule the result cache keyed on manifests
+// wants (ROADMAP: invalidate on simulator-version bump).
+const Version = "sccsim-0.2"
+
+// SchemaVersion is the manifest JSON schema revision, bumped whenever a
+// field changes meaning or is removed (additions are backwards
+// compatible and do not bump it).
+const SchemaVersion = 1
+
+// gitRevision reports the VCS revision baked into the binary, or "" when
+// the build carries no VCS stamp (go test, go run from a tarball).
+func gitRevision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			return s.Value
+		}
+	}
+	return ""
+}

@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"sccsim/internal/runner"
+)
+
+// ProgressPrinter returns a runner progress hook that renders a live
+// one-line sweep status to w (intended for stderr): jobs done / total,
+// elapsed wall clock, and an ETA extrapolated from the mean completion
+// rate so far. The line rewrites itself with \r and terminates with a
+// newline when the sweep completes. The scheduler serializes hook
+// invocations, so the printer needs no locking of its own.
+func ProgressPrinter(w io.Writer) func(runner.ProgressEvent) {
+	return func(e runner.ProgressEvent) {
+		eta := "?"
+		if e.Done > 0 && e.Total > e.Done {
+			remaining := time.Duration(float64(e.Elapsed) / float64(e.Done) * float64(e.Total-e.Done))
+			eta = remaining.Round(100 * time.Millisecond).String()
+		}
+		fmt.Fprintf(w, "\r[sweep] %d/%d runs, elapsed %v, eta %s   ",
+			e.Done, e.Total, e.Elapsed.Round(100*time.Millisecond), eta)
+		if e.Done >= e.Total {
+			fmt.Fprintln(w)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sccsim/internal/runner"
+)
+
+// TestProgressPrinter: the live line carries n/total and an ETA once a
+// completion rate exists, rewrites in place with \r, and terminates with
+// a newline exactly when the sweep completes.
+func TestProgressPrinter(t *testing.T) {
+	var sb strings.Builder
+	p := ProgressPrinter(&sb)
+
+	p(runner.ProgressEvent{Done: 1, Total: 3, Elapsed: time.Second})
+	first := sb.String()
+	if !strings.HasPrefix(first, "\r") {
+		t.Error("progress line does not rewrite with \\r")
+	}
+	if !strings.Contains(first, "1/3") {
+		t.Errorf("missing count: %q", first)
+	}
+	if !strings.Contains(first, "eta 2s") {
+		t.Errorf("want linear-rate eta 2s in %q", first)
+	}
+	if strings.Contains(first, "\n") {
+		t.Error("mid-sweep line ended with newline")
+	}
+
+	p(runner.ProgressEvent{Done: 3, Total: 3, Elapsed: 3 * time.Second})
+	if out := sb.String(); !strings.HasSuffix(out, "\n") {
+		t.Errorf("completed sweep line not terminated: %q", out)
+	}
+}
+
+// TestProgressPrinterNoRate: before any completion there is no rate to
+// extrapolate; the ETA renders as "?" instead of dividing by zero.
+func TestProgressPrinterNoRate(t *testing.T) {
+	var sb strings.Builder
+	ProgressPrinter(&sb)(runner.ProgressEvent{Done: 0, Total: 5, Elapsed: time.Second})
+	if out := sb.String(); !strings.Contains(out, "eta ?") {
+		t.Errorf("zero-done event rendered %q", out)
+	}
+}

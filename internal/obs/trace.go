@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"sccsim/internal/runner"
+)
+
+// traceEvent is one Chrome trace-event (catapult) record. Only the
+// subset Perfetto needs is emitted: metadata ("M") events naming
+// processes and threads, and complete ("X") duration events.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the catapult JSON object format.
+type traceFile struct {
+	TraceEvents     []traceEvent      `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// Trace accumulates sweep schedules as a Chrome trace-event file,
+// viewable in Perfetto (ui.perfetto.dev) or chrome://tracing. Each sweep
+// becomes a process; each scheduler worker becomes a thread lane; each
+// job a duration slice — making load imbalance and scheduling gaps
+// directly visible. When a job carries an interval series, the intervals
+// render as slices nested inside the job's span, scaled onto its
+// wall-clock extent by simulated-cycle share.
+type Trace struct {
+	events []traceEvent
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+func micros(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// AddSweep renders one scheduler sweep. name labels the process (pid must
+// be unique per sweep within the trace); samples, when non-nil, maps a
+// job's submission index to its sampler interval series.
+func (t *Trace) AddSweep(name string, pid int, sum *runner.Summary, samples map[int][]Interval) {
+	if sum == nil {
+		return
+	}
+	t.events = append(t.events, traceEvent{
+		Name: "process_name", Ph: "M", PID: pid,
+		Args: map[string]any{"name": name},
+	})
+	seenWorker := map[int]bool{}
+	for _, js := range sum.Jobs {
+		if js.Skipped {
+			continue
+		}
+		if !seenWorker[js.Worker] {
+			seenWorker[js.Worker] = true
+			t.events = append(t.events, traceEvent{
+				Name: "thread_name", Ph: "M", PID: pid, TID: js.Worker,
+				Args: map[string]any{"name": fmt.Sprintf("worker %d", js.Worker)},
+			})
+		}
+		cat, args := "job", map[string]any{
+			"index":        js.Index,
+			"uops":         js.Uops,
+			"uops_per_sec": js.UopsPerSec(),
+		}
+		if js.Err != nil {
+			cat = "job,error"
+			args["error"] = js.Err.Error()
+		}
+		t.events = append(t.events, traceEvent{
+			Name: js.Name, Cat: cat, Ph: "X",
+			TS: micros(js.Start), Dur: micros(js.Wall),
+			PID: pid, TID: js.Worker, Args: args,
+		})
+		if ivs := samples[js.Index]; len(ivs) > 0 {
+			t.addIntervals(pid, js, ivs)
+		}
+	}
+}
+
+// addIntervals nests a job's sampler intervals inside its span. Intervals
+// are measured in simulated cycles, not wall time, so each is laid out
+// proportionally to its cycle share of the job's total — the slice widths
+// show where simulated time went, not host time.
+func (t *Trace) addIntervals(pid int, js runner.JobStats, ivs []Interval) {
+	var totalCycles uint64
+	for _, iv := range ivs {
+		totalCycles += iv.Cycles
+	}
+	if totalCycles == 0 {
+		return
+	}
+	ts := micros(js.Start)
+	span := micros(js.Wall)
+	for _, iv := range ivs {
+		dur := span * float64(iv.Cycles) / float64(totalCycles)
+		t.events = append(t.events, traceEvent{
+			Name: fmt.Sprintf("interval %d", iv.Index), Cat: "sample", Ph: "X",
+			TS: ts, Dur: dur, PID: pid, TID: js.Worker,
+			Args: map[string]any{
+				"ipc":               iv.IPC,
+				"uop_reduction":     iv.UopReduction,
+				"opt_share":         iv.OptShare,
+				"squashes_per_kuop": iv.SquashesPerKuop,
+				"mpki":              iv.MPKI,
+				"committed":         iv.Committed,
+				"eliminated":        iv.Eliminated,
+				"cycles":            iv.Cycles,
+			},
+		})
+		ts += dur
+	}
+}
+
+// Empty reports whether no sweep has been added.
+func (t *Trace) Empty() bool { return len(t.events) == 0 }
+
+// Encode writes the catapult JSON object.
+func (t *Trace) Encode(w io.Writer) error {
+	f := traceFile{
+		TraceEvents:     t.events,
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]string{"sim_version": Version},
+	}
+	if f.TraceEvents == nil {
+		f.TraceEvents = []traceEvent{}
+	}
+	out, err := json.MarshalIndent(f, "", " ")
+	if err != nil {
+		return fmt.Errorf("obs: encode trace: %w", err)
+	}
+	_, err = w.Write(append(out, '\n'))
+	return err
+}
+
+// WriteFile encodes the trace to path (0644, truncating).
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

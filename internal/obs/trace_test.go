@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"sccsim/internal/runner"
+)
+
+func sampleSummary() *runner.Summary {
+	return &runner.Summary{
+		Workers: 2,
+		Wall:    30 * time.Millisecond,
+		Jobs: []runner.JobStats{
+			{Name: "mcf", Index: 0, Worker: 0, Start: 0, Wall: 10 * time.Millisecond, Uops: 1000},
+			{Name: "lbm", Index: 1, Worker: 1, Start: 2 * time.Millisecond, Wall: 20 * time.Millisecond, Uops: 2000},
+			{Name: "gcc", Index: 2, Skipped: true},
+		},
+		Completed: 2, Skipped: 1,
+	}
+}
+
+// TestTraceShape pins the catapult event stream: one process_name
+// metadata event per sweep, one thread_name per worker lane seen, one
+// "X" complete event per non-skipped job with ts/dur in microseconds.
+func TestTraceShape(t *testing.T) {
+	tr := NewTrace()
+	if !tr.Empty() {
+		t.Error("fresh trace not empty")
+	}
+	tr.AddSweep("fig6", 1, sampleSummary(), nil)
+	if tr.Empty() {
+		t.Fatal("trace still empty after AddSweep")
+	}
+
+	var procs, threads, jobs int
+	for _, e := range tr.events {
+		switch {
+		case e.Ph == "M" && e.Name == "process_name":
+			procs++
+			if e.Args["name"] != "fig6" {
+				t.Errorf("process named %v", e.Args["name"])
+			}
+		case e.Ph == "M" && e.Name == "thread_name":
+			threads++
+		case e.Ph == "X":
+			jobs++
+			if e.Dur <= 0 {
+				t.Errorf("job %q has dur %v", e.Name, e.Dur)
+			}
+		default:
+			t.Errorf("unexpected event %+v", e)
+		}
+	}
+	if procs != 1 || threads != 2 || jobs != 2 {
+		t.Errorf("got %d process, %d thread, %d job events; want 1, 2, 2", procs, threads, jobs)
+	}
+
+	// Spot-check the microsecond scaling on the second job.
+	for _, e := range tr.events {
+		if e.Ph == "X" && e.Name == "lbm" {
+			if e.TS != 2000 || e.Dur != 20000 {
+				t.Errorf("lbm at ts=%v dur=%v, want 2000/20000 µs", e.TS, e.Dur)
+			}
+			if e.TID != 1 {
+				t.Errorf("lbm on tid %d, want worker lane 1", e.TID)
+			}
+		}
+	}
+}
+
+// TestTraceIntervalNesting: sampler intervals render as slices contained
+// within their job's span (same pid/tid, ts within [start, start+dur]),
+// partitioned by simulated-cycle share.
+func TestTraceIntervalNesting(t *testing.T) {
+	sum := sampleSummary()
+	ivs := []Interval{
+		{Index: 0, Cycles: 300, Committed: 900},
+		{Index: 1, Cycles: 100, Committed: 350},
+	}
+	tr := NewTrace()
+	tr.AddSweep("fig6", 1, sum, map[int][]Interval{0: ivs})
+
+	job := sum.Jobs[0]
+	start, end := micros(job.Start), micros(job.Start+job.Wall)
+	var nested int
+	for _, e := range tr.events {
+		if e.Cat != "sample" {
+			continue
+		}
+		nested++
+		if e.TID != job.Worker {
+			t.Errorf("interval on tid %d, job ran on %d", e.TID, job.Worker)
+		}
+		if e.TS < start || e.TS+e.Dur > end+1e-6 {
+			t.Errorf("interval [%v, %v] escapes job span [%v, %v]",
+				e.TS, e.TS+e.Dur, start, end)
+		}
+	}
+	if nested != len(ivs) {
+		t.Errorf("got %d interval slices, want %d", nested, len(ivs))
+	}
+
+	// Cycle-proportional layout: interval 0 gets 3/4 of the span.
+	for _, e := range tr.events {
+		if e.Cat == "sample" && e.Name == "interval 0" {
+			want := micros(job.Wall) * 0.75
+			if diff := e.Dur - want; diff > 1e-6 || diff < -1e-6 {
+				t.Errorf("interval 0 dur %v, want %v (75%% of span)", e.Dur, want)
+			}
+		}
+	}
+}
+
+// TestTraceEncodeFormat: the encoded file is the catapult JSON object —
+// a traceEvents array plus displayTimeUnit — and parses back.
+func TestTraceEncodeFormat(t *testing.T) {
+	tr := NewTrace()
+	tr.AddSweep("fig6", 1, sampleSummary(), nil)
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents     []map[string]any  `json:"traceEvents"`
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		OtherData       map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("trace file does not parse: %v", err)
+	}
+	if decoded.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit %q", decoded.DisplayTimeUnit)
+	}
+	if len(decoded.TraceEvents) != len(tr.events) {
+		t.Errorf("encoded %d events, held %d", len(decoded.TraceEvents), len(tr.events))
+	}
+	if decoded.OtherData["sim_version"] != Version {
+		t.Errorf("otherData sim_version %q", decoded.OtherData["sim_version"])
+	}
+
+	// An empty trace still encodes a valid (loadable) file: traceEvents
+	// must be [], not null.
+	buf.Reset()
+	if err := NewTrace().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents": []`) {
+		t.Errorf("empty trace encodes as %s", buf.String())
+	}
+}
+
+// TestTraceErrorCategory: failed jobs keep their slice but switch
+// category and carry the error message, so they are filterable in the
+// viewer.
+func TestTraceErrorCategory(t *testing.T) {
+	sum := &runner.Summary{
+		Workers: 1,
+		Jobs: []runner.JobStats{
+			{Name: "boom", Wall: time.Millisecond, Err: errFake("sim exploded")},
+		},
+		Failed: 1,
+	}
+	tr := NewTrace()
+	tr.AddSweep("fig6", 1, sum, nil)
+	var found bool
+	for _, e := range tr.events {
+		if e.Ph == "X" {
+			found = true
+			if e.Cat != "job,error" {
+				t.Errorf("failed job categorized %q", e.Cat)
+			}
+			if e.Args["error"] != "sim exploded" {
+				t.Errorf("error arg %v", e.Args["error"])
+			}
+		}
+	}
+	if !found {
+		t.Error("failed job produced no slice")
+	}
+}
+
+type errFake string
+
+func (e errFake) Error() string { return string(e) }

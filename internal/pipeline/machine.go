@@ -79,6 +79,12 @@ type Machine struct {
 	// stream validation dry-run, keyed by scc.VPKey.
 	dryRes map[uint64]emu.ExecResult
 
+	// Interval sampling hook (SetSampleHook): called with a snapshot of
+	// Stats each time another sampleEvery committed micro-ops accumulate.
+	sampleFn    func(Stats)
+	sampleEvery uint64
+	nextSample  uint64
+
 	cycle uint64
 	done  bool
 }
@@ -130,6 +136,21 @@ func New(cfg Config, prog *asm.Program) (*Machine, error) {
 	return m, nil
 }
 
+// SetSampleHook registers fn to be called with a snapshot of the stats
+// each time another every committed micro-ops have accumulated, giving
+// observers an interval-level view of phase behaviour. every == 0 or a
+// nil fn disables sampling (the default); the disabled path costs one
+// nil check per cycle.
+func (m *Machine) SetSampleHook(every uint64, fn func(Stats)) {
+	if every == 0 || fn == nil {
+		m.sampleFn, m.sampleEvery = nil, 0
+		return
+	}
+	m.sampleFn = fn
+	m.sampleEvery = every
+	m.nextSample = m.Stats.CommittedUops + every
+}
+
 // Run simulates until the program halts or cfg.MaxUops micro-ops commit.
 // It returns the final stats.
 func (m *Machine) Run() (*Stats, error) {
@@ -140,6 +161,12 @@ func (m *Machine) Run() (*Stats, error) {
 		m.Stats.Cycles = m.cycle
 
 		m.be.commit(m.cycle, &m.Stats)
+		if m.sampleFn != nil && m.Stats.CommittedUops >= m.nextSample {
+			m.sampleFn(m.Stats)
+			for m.nextSample <= m.Stats.CommittedUops {
+				m.nextSample += m.sampleEvery
+			}
+		}
 		m.dispatch()
 		m.fetch()
 		m.sccTick()

@@ -1,0 +1,116 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"sccsim/internal/asm"
+	"sccsim/internal/scc"
+)
+
+// Every derived metric on Stats guards its denominator; a zero-value
+// Stats (a run that never started, an empty sampling interval) must
+// yield finite zeros, never NaN or Inf. TestStatsDerivedMetrics covers
+// the happy-path arithmetic; this table pins the guards themselves.
+func TestStatsDerivedMetricZeroGuards(t *testing.T) {
+	var zero Stats
+	checks := []struct {
+		name string
+		got  float64
+	}{
+		{"IPC", zero.IPC()},
+		{"BranchMPKI", zero.BranchMPKI()},
+		{"DynamicUopReduction", zero.DynamicUopReduction()},
+		{"SquashOverhead", zero.SquashOverhead()},
+	}
+	for _, c := range checks {
+		if c.got != 0 {
+			t.Errorf("zero Stats: %s = %v, want 0", c.name, c.got)
+		}
+		if math.IsNaN(c.got) || math.IsInf(c.got, 0) {
+			t.Errorf("zero Stats: %s = %v, not finite", c.name, c.got)
+		}
+	}
+	if got := zero.TotalFetchedSlots(); got != 0 {
+		t.Errorf("zero Stats: TotalFetchedSlots = %d, want 0", got)
+	}
+	if got := zero.EliminatedUops(); got != 0 {
+		t.Errorf("zero Stats: EliminatedUops = %d, want 0", got)
+	}
+}
+
+// The guards must trip only on zero denominators: each metric's numerator
+// being zero while its denominator is populated is an ordinary 0, and a
+// populated numerator with zero denominator (impossible in a real run,
+// possible in hand-built stats) must still not divide by zero.
+func TestStatsDerivedMetricPartialZeroes(t *testing.T) {
+	// Denominator populated, numerator zero: plain zeros.
+	s := Stats{Cycles: 10, CommittedUops: 100}
+	if got := s.IPC(); got != 10 {
+		t.Errorf("IPC = %v, want 10", got)
+	}
+	if got := s.BranchMPKI(); got != 0 {
+		t.Errorf("BranchMPKI = %v, want 0", got)
+	}
+	if got := s.DynamicUopReduction(); got != 0 {
+		t.Errorf("DynamicUopReduction = %v, want 0", got)
+	}
+	if got := s.SquashOverhead(); got != 0 {
+		t.Errorf("SquashOverhead = %v, want 0", got)
+	}
+
+	// Numerator without denominator: guarded, not a division by zero.
+	odd := Stats{BranchMispredicts: 7, SquashedUops: 5, ElimMove: 3}
+	if got := odd.BranchMPKI(); got != 0 || math.IsNaN(got) {
+		t.Errorf("BranchMPKI with no commits = %v, want 0", got)
+	}
+	// SquashedUops alone gives reduction/overhead denominators > 0.
+	if got := odd.SquashOverhead(); got != 1 {
+		t.Errorf("SquashOverhead with only squashed uops = %v, want 1", got)
+	}
+	if got := odd.DynamicUopReduction(); got != 1 {
+		t.Errorf("DynamicUopReduction with only eliminated uops = %v, want 1", got)
+	}
+
+	// Fetch-mix accumulation stays a plain sum.
+	mix := Stats{UopsFromDecode: 1, UopsFromUnopt: 2, UopsFromOpt: 4}
+	if got := mix.TotalFetchedSlots(); got != 7 {
+		t.Errorf("TotalFetchedSlots = %d, want 7", got)
+	}
+}
+
+// TestSampleHookFiresEveryInterval pins the pipeline-side sampling
+// contract: snapshots arrive in committed-uop order, one per interval
+// crossing, with monotonically increasing counters, and disabling the
+// hook is the default.
+func TestSampleHookFiresEveryInterval(t *testing.T) {
+	p, err := asm.Assemble(hotLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := IcelakeSCC(scc.LevelFull)
+	cfg.MaxUops = 5000
+	m, err2 := New(cfg, p)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	var snaps []Stats
+	m.SetSampleHook(1000, func(s Stats) { snaps = append(snaps, s) })
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) < 3 {
+		t.Fatalf("got %d samples for a %d-uop budget at interval 1000", len(snaps), cfg.MaxUops)
+	}
+	prev := uint64(0)
+	for i, s := range snaps {
+		if s.CommittedUops < prev+1000 {
+			t.Errorf("sample %d at %d committed uops, want >= %d", i, s.CommittedUops, prev+1000)
+		}
+		prev = s.CommittedUops
+	}
+	if last := snaps[len(snaps)-1]; last.CommittedUops > st.CommittedUops {
+		t.Errorf("sample overshot final stats: %d > %d", last.CommittedUops, st.CommittedUops)
+	}
+}

@@ -34,6 +34,14 @@ type Config struct {
 	// Parallel is the worker count: 0 (or negative) means GOMAXPROCS,
 	// 1 reproduces exact serial semantics.
 	Parallel int
+
+	// Progress, when non-nil, is invoked once per job as it finishes or
+	// is skipped — skipped jobs count too, so Done always reaches Total —
+	// serialized under an internal lock so implementations may write to a
+	// shared sink without their own synchronization. Completion order is
+	// nondeterministic under Parallel > 1; the hook must not affect
+	// results.
+	Progress func(ProgressEvent)
 }
 
 func (c Config) workers() int {
@@ -96,12 +104,31 @@ func Run[T any](ctx context.Context, cfg Config, jobs []Job[T]) ([]T, *Summary, 
 	defer cancel()
 
 	start := time.Now()
+
+	var progressMu sync.Mutex
+	progressDone := 0
+	report := func(js JobStats) {
+		if cfg.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		progressDone++
+		cfg.Progress(ProgressEvent{
+			Done:    progressDone,
+			Total:   n,
+			Elapsed: time.Since(start),
+			Job:     js,
+		})
+		progressMu.Unlock()
+	}
+
 	next := make(chan int)
 	feederDone := make(chan struct{})
 	go func() {
 		// Feed indices in submission order; on cancellation mark every
-		// unfed job skipped. Workers own the slots they pulled, the
-		// feeder owns the rest, so the writes never overlap.
+		// unfed job skipped (and report it, so a progress line converges
+		// to Total even on a cancelled sweep). Workers own the slots they
+		// pulled, the feeder owns the rest, so the writes never overlap.
 		defer close(feederDone)
 		defer close(next)
 		for i := range jobs {
@@ -110,6 +137,7 @@ func Run[T any](ctx context.Context, cfg Config, jobs []Job[T]) ([]T, *Summary, 
 			case <-ctx.Done():
 				for j := i; j < n; j++ {
 					perJob[j] = JobStats{Name: jobs[j].Name, Index: j, Skipped: true}
+					report(perJob[j])
 				}
 				return
 			}
@@ -119,17 +147,19 @@ func Run[T any](ctx context.Context, cfg Config, jobs []Job[T]) ([]T, *Summary, 
 	var wg sync.WaitGroup
 	for w := 0; w < sum.Workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range next {
-				js := JobStats{Name: jobs[i].Name, Index: i}
+				js := JobStats{Name: jobs[i].Name, Index: i, Worker: worker}
 				if ctx.Err() != nil {
 					// Pulled before cancellation landed, but not started.
 					js.Skipped = true
 					perJob[i] = js
+					report(js)
 					continue
 				}
 				t0 := time.Now()
+				js.Start = t0.Sub(start)
 				v, err := runShielded(ctx, jobs[i])
 				js.Wall = time.Since(t0)
 				if err != nil {
@@ -142,8 +172,9 @@ func Run[T any](ctx context.Context, cfg Config, jobs []Job[T]) ([]T, *Summary, 
 					}
 				}
 				perJob[i] = js
+				report(js)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	<-feederDone

@@ -1,0 +1,182 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSummaryStringZeroJobs: the report of an empty (or all-failed)
+// sweep must never leak "NaN" or "Inf" from the zero-denominator
+// throughput and percentile math.
+func TestSummaryStringZeroJobs(t *testing.T) {
+	for name, s := range map[string]*Summary{
+		"empty":      {Workers: 4},
+		"all-failed": {Workers: 2, Jobs: []JobStats{{Name: "x", Err: fmt.Errorf("boom")}}, Failed: 1},
+		"zero-wall":  {Workers: 1, Jobs: []JobStats{{Name: "x"}}, Completed: 1, TotalUops: 100},
+	} {
+		out := s.String()
+		if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+			t.Errorf("%s summary leaks non-finite values: %q", name, out)
+		}
+	}
+}
+
+// TestSiCountGuards pins the formatting guards directly.
+func TestSiCountGuards(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{math.NaN(), "0"},
+		{math.Inf(-1), "0"},
+		{-5, "0"},
+		{0, "0"},
+		{math.Inf(1), "inf"},
+		{999, "999"},
+		{1500, "1.50k"},
+		{2_340_000, "2.34M"},
+		{7.1e9, "7.10G"},
+	}
+	for _, c := range cases {
+		if got := siCount(c.in); got != c.want {
+			t.Errorf("siCount(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestRoundWallNeverZeroesFastSweeps: sub-millisecond durations keep
+// microsecond resolution so a fast sweep never reports "0s"; everything
+// else rounds to whole milliseconds consistently.
+func TestRoundWallNeverZeroesFastSweeps(t *testing.T) {
+	if got := roundWall(400 * time.Microsecond); got != 400*time.Microsecond {
+		t.Errorf("roundWall(400µs) = %v", got)
+	}
+	if got := roundWall(1234567 * time.Nanosecond); got != time.Millisecond {
+		t.Errorf("roundWall(1.234567ms) = %v, want 1ms", got)
+	}
+	sum := &Summary{Workers: 1, Wall: 250 * time.Microsecond,
+		Jobs: []JobStats{{Name: "x", Wall: 250 * time.Microsecond}}, Completed: 1}
+	out := sum.String()
+	if !strings.Contains(out, "in 250µs") {
+		t.Errorf("fast sweep wall lost its resolution: %q", out)
+	}
+	if !strings.Contains(out, "mean 250µs") {
+		t.Errorf("fast sweep mean lost its resolution: %q", out)
+	}
+}
+
+// TestProgressHookSequence: the hook fires once per job with a
+// monotonically increasing Done count reaching Total, and invocations
+// are serialized (no torn counters under parallel workers).
+func TestProgressHookSequence(t *testing.T) {
+	const n = 16
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Name: fmt.Sprintf("j%d", i), Run: func(context.Context) (int, error) {
+			time.Sleep(time.Duration(i%3) * time.Millisecond)
+			return i, nil
+		}}
+	}
+	var mu sync.Mutex
+	var dones []int
+	cfg := Config{Parallel: 4, Progress: func(e ProgressEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		dones = append(dones, e.Done)
+		if e.Total != n {
+			t.Errorf("event total %d, want %d", e.Total, n)
+		}
+		if e.Job.Name == "" {
+			t.Error("event carries no job")
+		}
+	}}
+	if _, _, err := Run(context.Background(), cfg, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(dones) != n {
+		t.Fatalf("hook fired %d times for %d jobs", len(dones), n)
+	}
+	for i, d := range dones {
+		if d != i+1 {
+			t.Fatalf("done sequence %v not 1..%d", dones, n)
+		}
+	}
+}
+
+// TestJobStatsLaneTelemetry: every completed job records which worker
+// lane ran it and a start offset consistent with its wall time — the
+// data the trace exporter renders as per-lane slices.
+func TestJobStatsLaneTelemetry(t *testing.T) {
+	const n, workers = 12, 3
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Name: fmt.Sprintf("j%d", i), Run: func(context.Context) (int, error) {
+			time.Sleep(2 * time.Millisecond)
+			return i, nil
+		}}
+	}
+	_, sum, err := Run(context.Background(), Config{Parallel: workers}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lanes := map[int]bool{}
+	for _, js := range sum.Jobs {
+		if js.Worker < 0 || js.Worker >= workers {
+			t.Errorf("job %s on lane %d, pool has %d", js.Name, js.Worker, workers)
+		}
+		lanes[js.Worker] = true
+		if js.Start < 0 || js.Start > sum.Wall {
+			t.Errorf("job %s start offset %v outside sweep wall %v", js.Name, js.Start, sum.Wall)
+		}
+		if js.Start+js.Wall > sum.Wall+10*time.Millisecond {
+			t.Errorf("job %s span [%v, %v] overruns sweep wall %v",
+				js.Name, js.Start, js.Start+js.Wall, sum.Wall)
+		}
+	}
+	// With GOMAXPROCS possibly 1 the scheduler may still funnel work
+	// through few lanes, but at least one lane must have been used.
+	if len(lanes) == 0 {
+		t.Error("no worker lanes recorded")
+	}
+}
+
+// TestProgressCountsSkipped: cancelled jobs still advance the progress
+// counter so the live line reaches Total and terminates.
+func TestProgressCountsSkipped(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const n = 8
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Name: fmt.Sprintf("j%d", i), Run: func(context.Context) (int, error) {
+			if i == 0 {
+				cancel() // first job cancels the rest
+			}
+			return i, nil
+		}}
+	}
+	var mu sync.Mutex
+	max := 0
+	cfg := Config{Parallel: 1, Progress: func(e ProgressEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		if e.Done > max {
+			max = e.Done
+		}
+	}}
+	_, sum, _ := Run(ctx, cfg, jobs)
+	if max != n {
+		t.Errorf("progress reached %d of %d (skipped jobs must count)", max, n)
+	}
+	if sum.Skipped == 0 {
+		t.Error("cancellation skipped nothing; test exercised nothing")
+	}
+}

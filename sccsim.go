@@ -32,6 +32,7 @@ import (
 
 	"sccsim/internal/asm"
 	"sccsim/internal/harness"
+	"sccsim/internal/obs"
 	"sccsim/internal/pipeline"
 	"sccsim/internal/runner"
 	"sccsim/internal/scc"
@@ -73,15 +74,27 @@ const (
 // report and cache activity.
 type RunResult = harness.RunResult
 
-// Options tunes experiment runs (interval length, workload subset, and
-// the sweep worker count: Parallel = 0 means GOMAXPROCS, 1 runs serially;
-// results are order-deterministic either way).
+// Options tunes experiment runs (interval length, workload subset, the
+// sweep worker count: Parallel = 0 means GOMAXPROCS, 1 runs serially —
+// results are order-deterministic either way — plus the observability
+// hooks: SampleEvery enables interval telemetry, OnResult receives every
+// completed run, Progress streams live sweep status).
 type Options = harness.Options
 
 // SweepSummary is the per-run telemetry a sweep aggregates (wall clock,
 // committed micro-ops, uops/sec); every experiment result carries one in
 // its Timing field.
 type SweepSummary = runner.Summary
+
+// Manifest is the machine-readable JSON artifact of one run (config with
+// content hash, stats, energy, interval-sampled telemetry); RunResult
+// builds one via its Manifest method and the CLIs write it with -json.
+type Manifest = obs.Manifest
+
+// SampleInterval is one window of the interval-sampled telemetry series
+// (per-interval IPC, uop reduction, fetch-source mix, squash and
+// mispredict rates), collected when Options.SampleEvery > 0.
+type SampleInterval = obs.Interval
 
 // Assemble assembles UXA source text (see examples/customworkload for the
 // dialect) into a Program.
