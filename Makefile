@@ -3,8 +3,8 @@
 
 GO ?= go
 
-.PHONY: all build test check bench bench-json figures fig6 fig7 fig8 fig9 \
-        fig10 fig11 table1 overhead examples clean
+.PHONY: all build test check bench bench-json diff figures fig6 fig7 fig8 \
+        fig9 fig10 fig11 table1 overhead examples clean
 
 all: build test
 
@@ -31,12 +31,19 @@ bench:
 # Machine-readable benchmark artifact: a reduced-scale fig6+fig7 sweep
 # writes per-run JSON manifests (Manifest.Encode verifies each one
 # round-trips through encoding/json) and the aggregate index becomes
-# BENCH_pr2.json — the headline numbers a perf trajectory can diff.
+# BENCH_pr3.json — the headline numbers a perf trajectory can diff.
+# Committed BENCH_pr*.json baselines from earlier PRs are never rewritten.
 bench-json:
 	rm -rf manifests
 	$(GO) run ./cmd/sccbench -experiment fig6,fig7 \
 	    -workloads xalancbmk,mcf,lbm -max-uops 30000 -json manifests > /dev/null
-	cp manifests/index.json BENCH_pr2.json
+	cp manifests/index.json BENCH_pr3.json
+
+# Regression gate: regenerate the reduced-scale sweep and diff it against
+# the committed PR-2 baseline with direction-aware thresholds (sccdiff
+# exits nonzero on an IPC/coverage drop or an energy rise).
+diff: bench-json
+	$(GO) run ./cmd/sccdiff BENCH_pr2.json manifests
 
 # Full-scale regeneration of every table and figure (a few minutes).
 figures:

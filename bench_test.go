@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"sccsim/internal/harness"
+	"sccsim/internal/obs"
 	"sccsim/internal/pipeline"
 	"sccsim/internal/stats"
 	"sccsim/internal/workloads"
@@ -179,6 +180,39 @@ func BenchmarkSamplerOverhead(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(len(res.Samples)), "intervals")
+		})
+	}
+}
+
+// BenchmarkPipeTracerOverhead measures the per-uop lifecycle tracer
+// against the same run with tracing disabled (the default). Off, the
+// tracer costs one nil-check per micro-op; on, it mints a UopTrace per
+// fetched micro-op and copies it into the ring at retire.
+func BenchmarkPipeTracerOverhead(b *testing.B) {
+	w, ok := workloads.ByName("xalancbmk")
+	if !ok {
+		b.Fatal("unknown workload")
+	}
+	for _, traced := range []bool{false, true} {
+		nm := "tracing-off"
+		if traced {
+			nm = "tracing-on"
+		}
+		b.Run(nm, func(b *testing.B) {
+			var tracer *obs.PipeTracer
+			opts := Options{MaxUops: 25_000}
+			if traced {
+				tracer = obs.NewPipeTracer(0)
+				opts.Observe = tracer.Attach
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(SCCConfig(LevelFull), w, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if tracer != nil {
+				b.ReportMetric(float64(tracer.Total())/float64(b.N), "uops-traced")
+			}
 		})
 	}
 }

@@ -49,6 +49,7 @@ func run() int {
 			"simulation runs in flight at once (1 = serial)")
 
 		jsonDir    = flag.String("json", "", "write one JSON manifest per run (plus index.json) into this directory")
+		cacheDir   = flag.String("cache", "", "result-cache directory: reuse matching manifests instead of re-simulating, write back misses (any -json output directory works)")
 		tracePath  = flag.String("trace", "", "write a Chrome trace-event (Perfetto) file of the sweeps to this path")
 		sampleIv   = flag.Uint64("sample-interval", 10_000, "telemetry sampling interval in committed uops (with -json/-trace)")
 		progress   = flag.Bool("progress", false, "live sweep progress line (n/total, ETA) on stderr")
@@ -98,6 +99,20 @@ func run() int {
 	art := &artifacts{jsonDir: *jsonDir, trace: obs.NewTrace(), index: obs.NewIndex()}
 	if *jsonDir != "" || *tracePath != "" {
 		opts.OnResult = art.collect
+	}
+	var cacheHits, cacheRuns int
+	if *cacheDir != "" {
+		opts.CacheDir = *cacheDir
+		inner := opts.OnResult
+		opts.OnResult = func(i int, r *harness.RunResult) {
+			cacheRuns++
+			if r.FromCache {
+				cacheHits++
+			}
+			if inner != nil {
+				inner(i, r)
+			}
+		}
 	}
 
 	runExp := func(name string, fn func() (*sccsim.SweepSummary, error)) bool {
@@ -196,6 +211,10 @@ func run() int {
 		if !runExp(name, experiments[name]) {
 			return 1
 		}
+	}
+	if *cacheDir != "" {
+		fmt.Fprintf(os.Stderr, "sccbench: result cache %s: %d/%d runs served from cache\n",
+			*cacheDir, cacheHits, cacheRuns)
 	}
 	return art.flush(*tracePath)
 }

@@ -1,0 +1,68 @@
+// Command sccdiff compares two sweep result indexes and fails on metric
+// regressions. It is the repo's CI gate: `make diff` runs it with the
+// committed BENCH baseline against freshly produced manifests.
+//
+//	sccdiff BENCH_pr2.json manifests/
+//	sccdiff -v -ipc-drop 0.02 old/index.json new/index.json
+//
+// Each argument is an index JSON file (BENCH_*.json, index.json) or a
+// manifest directory containing index.json. Entries are matched by
+// (experiment, workload, max_uops, ordinal); per-metric thresholds are
+// direction-aware (IPC and uop-reduction must not fall, energy must not
+// rise).
+//
+// Exit status: 0 no regressions, 1 regressions found, 2 usage or I/O
+// error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sccsim/internal/obs"
+)
+
+func main() {
+	def := obs.DefaultThresholds()
+	var (
+		ipcDrop = flag.Float64("ipc-drop", def.IPCDrop,
+			"max tolerated relative IPC decrease (0.05 = -5%)")
+		elimDrop = flag.Float64("elim-drop", def.ElimDrop,
+			"max tolerated absolute dynamic_uop_reduction decrease")
+		energyRise = flag.Float64("energy-rise", def.EnergyRise,
+			"max tolerated relative energy_j increase")
+		verbose = flag.Bool("v", false, "print all matched entries, not just regressions")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: sccdiff [flags] <base-index> <new-index>\n")
+		fmt.Fprintf(os.Stderr, "  each argument is an index JSON file or a manifest directory\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base, err := obs.LoadIndex(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sccdiff: base: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := obs.LoadIndex(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sccdiff: new: %v\n", err)
+		os.Exit(2)
+	}
+
+	rep := obs.DiffIndexes(base, cur, obs.DiffThresholds{
+		IPCDrop:    *ipcDrop,
+		ElimDrop:   *elimDrop,
+		EnergyRise: *energyRise,
+	})
+	rep.Write(os.Stdout, *verbose)
+	if rep.Regressions > 0 {
+		os.Exit(1)
+	}
+}

@@ -51,8 +51,11 @@ func run() int {
 			"sweep worker count for library Options plumbing (a single run uses one)")
 		verbose = flag.Bool("v", false, "print the full counter dump")
 
-		jsonPath   = flag.String("json", "", "write the JSON run manifest to this path")
-		tracePath  = flag.String("trace", "", "write a Chrome trace-event (Perfetto) file to this path")
+		jsonPath  = flag.String("json", "", "write the JSON run manifest to this path")
+		tracePath = flag.String("trace", "", "write a Chrome trace-event (Perfetto) file to this path")
+		pipeview  = flag.String("pipeview", "", "write a per-uop pipeline lifecycle trace (gem5 O3PipeView format, opens in Konata) to this path")
+		pipeviewN = flag.Int("pipeview-limit", obs.DefaultPipeTraceLimit,
+			"retain the last N micro-ops in the -pipeview trace")
 		sampleIv   = flag.Uint64("sample-interval", 10_000, "telemetry sampling interval in committed uops (with -json/-trace)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the simulator to this path")
 		memProfile = flag.String("memprofile", "", "write a heap profile of the simulator to this path")
@@ -92,6 +95,11 @@ func run() int {
 	if *jsonPath != "" || *tracePath != "" {
 		opts.SampleEvery = *sampleIv
 	}
+	var tracer *obs.PipeTracer
+	if *pipeview != "" {
+		tracer = obs.NewPipeTracer(*pipeviewN)
+		opts.Observe = tracer.Attach
+	}
 	var res *harness.RunResult
 	var sum *runner.Summary
 	switch {
@@ -116,6 +124,14 @@ func run() int {
 	if err := writeArtifacts(res, sum, *jsonPath, *tracePath); err != nil {
 		fmt.Fprintf(os.Stderr, "sccsim: %v\n", err)
 		return 1
+	}
+	if tracer != nil {
+		if err := tracer.WriteFile(*pipeview); err != nil {
+			fmt.Fprintf(os.Stderr, "sccsim: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "sccsim: wrote pipeline trace %s (%d of %d uops retained; open in Konata)\n",
+			*pipeview, tracer.Total()-tracer.Dropped(), tracer.Total())
 	}
 	return 0
 }
@@ -169,14 +185,23 @@ func report(res *harness.RunResult, verbose bool) {
 	fmt.Printf("workload:            %s\n", res.Workload)
 	fmt.Printf("cycles:              %d\n", st.Cycles)
 	fmt.Printf("committed uops:      %d (IPC %.2f)\n", st.CommittedUops, st.IPC())
-	fmt.Printf("eliminated uops:     %d (%s reduction; move %d / fold %d / branch %d)\n",
+	fmt.Printf("eliminated uops:     %d (%s reduction; move %d / fold %d / branch %d / dead %d)\n",
 		st.EliminatedUops(), stats.Pct(st.DynamicUopReduction()),
-		st.ElimMove, st.ElimFold, st.ElimBranch)
+		st.ElimMove, st.ElimFold, st.ElimBranch, st.ElimDead)
 	fmt.Printf("fetch mix:           icache %d / unopt %d / opt %d slots\n",
 		st.UopsFromDecode, st.UopsFromUnopt, st.UopsFromOpt)
 	fmt.Printf("branch mispredicts:  %d (%.2f MPKI)\n", st.BranchMispredicts, st.BranchMPKI())
 	fmt.Printf("invariant squashes:  %d (%s of pipeline work)\n",
 		st.InvariantViolations, stats.Pct(st.SquashOverhead()))
+	cyc := float64(st.Cycles)
+	pct := func(n uint64) string { return stats.Pct(stats.Ratio(float64(n), cyc)) }
+	fmt.Printf("cpi stack:           retiring %s, bad-spec %s (mispredict %s / squash %s)\n",
+		pct(st.CPIRetiring), pct(st.CPIBadSpec()),
+		pct(st.CPIBadSpecMispredict), pct(st.CPIBadSpecSquash))
+	fmt.Printf("                     backend %s (rob %s / iq %s / lsq %s / exec %s), frontend %s (icache %s / uop %s)\n",
+		pct(st.CPIBackend()), pct(st.CPIBackendROB), pct(st.CPIBackendIQ),
+		pct(st.CPIBackendLSQ), pct(st.CPIBackendExec),
+		pct(st.CPIFrontend()), pct(st.CPIFrontendICache), pct(st.CPIFrontendUop))
 	fmt.Printf("energy:              %.3g J (front-end %.3g, scc %.3g, back-end %.3g, memory %.3g, leakage %.3g)\n",
 		res.Energy.Total(), res.Energy.FrontEnd, res.Energy.SCCUnit,
 		res.Energy.BackEnd, res.Energy.Memory, res.Energy.Leakage)

@@ -25,10 +25,13 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	var (
-		workload = flag.String("workload", "", "built-in workload name")
-		maxUops  = flag.Uint64("max-uops", 0, "program-work budget (0 = workload default)")
-		top      = flag.Int("top", 10, "show the N most-streamed compacted lines")
-		level    = flag.Int("scc-level", int(scc.LevelFull), "SCC optimization level 2..5")
+		workload  = flag.String("workload", "", "built-in workload name")
+		maxUops   = flag.Uint64("max-uops", 0, "program-work budget (0 = workload default)")
+		top       = flag.Int("top", 10, "show the N most-streamed compacted lines")
+		level     = flag.Int("scc-level", int(scc.LevelFull), "SCC optimization level 2..5")
+		pipeview  = flag.String("pipeview", "", "write a per-uop pipeline lifecycle trace (gem5 O3PipeView format, opens in Konata) to this path")
+		pipeviewN = flag.Int("pipeview-limit", obs.DefaultPipeTraceLimit,
+			"retain the last N micro-ops in the -pipeview trace")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"sweep worker count for library Options plumbing (a single trace uses one)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the simulator to this path")
@@ -63,10 +66,23 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "scctrace:", err)
 		return 1
 	}
+	var tracer *obs.PipeTracer
+	if *pipeview != "" {
+		tracer = obs.NewPipeTracer(*pipeviewN)
+		tracer.Attach(m)
+	}
 	st, err := m.Run()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scctrace:", err)
 		return 1
+	}
+	if tracer != nil {
+		if err := tracer.WriteFile(*pipeview); err != nil {
+			fmt.Fprintln(os.Stderr, "scctrace:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "scctrace: wrote pipeline trace %s (%d of %d uops retained; open in Konata)\n",
+			*pipeview, tracer.Total()-tracer.Dropped(), tracer.Total())
 	}
 
 	u := m.Unit.Stats

@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"sccsim/internal/obs"
+	"sccsim/internal/pipeline"
+	"sccsim/internal/scc"
+	"sccsim/internal/workloads"
+)
+
+func TestResultCacheHitReproducesRun(t *testing.T) {
+	w, _ := workloads.ByName("xalancbmk")
+	dir := t.TempDir()
+	opts := Options{MaxUops: 20_000, CacheDir: dir, SampleEvery: 5_000}
+	cfg := pipeline.IcelakeSCC(scc.LevelFull)
+
+	cold, err := RunOne(cfg, w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.FromCache {
+		t.Fatal("first run claims a cache hit")
+	}
+	entries, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(entries) != 1 {
+		t.Fatalf("want 1 cache entry after cold run, got %v", entries)
+	}
+
+	warm, err := RunOne(cfg, w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.FromCache {
+		t.Fatal("second identical run missed the cache")
+	}
+	if !reflect.DeepEqual(cold.Stats, warm.Stats) {
+		t.Error("cached stats differ from the simulated run")
+	}
+	if !reflect.DeepEqual(cold.Samples, warm.Samples) {
+		t.Error("cached interval series differs from the simulated run")
+	}
+	if cold.EnergyJ() != warm.EnergyJ() {
+		t.Errorf("energy mismatch: cold %g warm %g", cold.EnergyJ(), warm.EnergyJ())
+	}
+}
+
+func TestResultCacheMisses(t *testing.T) {
+	w, _ := workloads.ByName("xalancbmk")
+	dir := t.TempDir()
+	cfg := pipeline.IcelakeSCC(scc.LevelFull)
+
+	// Populate without sampling.
+	if _, err := RunOne(cfg, w, Options{MaxUops: 20_000, CacheDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A different work budget is a different ConfigHash: miss.
+	other, err := RunOne(cfg, w, Options{MaxUops: 10_000, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.FromCache {
+		t.Error("different MaxUops must not hit the cache")
+	}
+
+	// Asking for samples when the cached manifest has none: miss.
+	sampled, err := RunOne(cfg, w, Options{MaxUops: 20_000, CacheDir: dir, SampleEvery: 5_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sampled.FromCache {
+		t.Error("sampling request must miss a sample-less cache entry")
+	}
+	if len(sampled.Samples) == 0 {
+		t.Error("re-run did not produce samples")
+	}
+}
+
+func TestResultCacheRejectsStaleVersion(t *testing.T) {
+	w, _ := workloads.ByName("xalancbmk")
+	dir := t.TempDir()
+	cfg := pipeline.IcelakeSCC(scc.LevelFull)
+	opts := Options{MaxUops: 20_000, CacheDir: dir}
+
+	cold, err := RunOne(cfg, w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper: rewrite the entry claiming an older simulator version. The
+	// hash check must reject it (hash folds the version in), forcing a
+	// fresh simulation rather than serving stale numbers.
+	path := cachePath(dir, cold.Workload, obs.ConfigHash(cold.Workload, cold.Config))
+	man, err := obs.ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man.SimVersion = "sccsim-0.0"
+	if err := man.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	again, err := RunOne(cfg, w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.FromCache {
+		t.Error("stale-version entry served from cache")
+	}
+
+	// A corrupt entry must degrade to a miss, not an error.
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	again, err = RunOne(cfg, w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.FromCache {
+		t.Error("corrupt entry served from cache")
+	}
+}

@@ -34,6 +34,9 @@ type RunResult struct {
 	// Samples is the interval-sampled telemetry series; nil unless
 	// Options.SampleEvery enabled sampling.
 	Samples []obs.Interval
+	// FromCache marks a result rehydrated from a manifest in
+	// Options.CacheDir instead of simulated (the run never executed).
+	FromCache bool
 }
 
 // Manifest assembles the run's machine-readable JSON artifact. Attach
@@ -68,10 +71,22 @@ type Options struct {
 	// with exact serial semantics. Results are order-deterministic
 	// either way.
 	Parallel int
+	// CacheDir, when non-empty, enables the manifest result cache: before
+	// simulating, each run probes the directory for a manifest whose
+	// ConfigHash matches the effective configuration and rehydrates the
+	// RunResult from it (FromCache=true); on a miss the finished run is
+	// written back. Any sccbench -json output directory is a valid cache.
+	CacheDir string
 	// SampleEvery enables interval-sampled telemetry: every N committed
 	// micro-ops the pipeline snapshots its stats into the run's Samples
 	// series (obs.Interval deltas). 0 (the default) disables sampling.
 	SampleEvery uint64
+	// Observe, when non-nil, is invoked with each run's prepared machine
+	// before simulation starts — the attach point for obs observers
+	// (PipeTracer, extra samplers). Observers must be pure taps; they may
+	// not alter simulation behaviour. Not invoked on a result-cache hit
+	// (the run never executes), so lifecycle tracing wants CacheDir off.
+	Observe func(*pipeline.Machine)
 	// OnResult, when non-nil, is invoked for every completed run of a
 	// sweep in submission order after the sweep returns; i is the job's
 	// submission index. Used by the CLIs to write per-run manifests.
@@ -129,6 +144,14 @@ func measure(cfg pipeline.Config, w workloads.Workload, opts Options) (*RunResul
 	if err != nil {
 		return nil, err
 	}
+	if opts.CacheDir != "" {
+		if res := loadCached(opts, w, m.Cfg); res != nil {
+			return res, nil
+		}
+	}
+	if opts.Observe != nil {
+		opts.Observe(m)
+	}
 	var sampler *obs.Sampler
 	if opts.SampleEvery > 0 {
 		sampler = obs.NewSampler(opts.SampleEvery)
@@ -157,6 +180,9 @@ func measure(cfg pipeline.Config, w workloads.Workload, opts Options) (*RunResul
 	}
 	if sampler != nil {
 		res.Samples = sampler.Finalize(st)
+	}
+	if opts.CacheDir != "" {
+		storeCached(opts.CacheDir, res)
 	}
 	return res, nil
 }

@@ -1,0 +1,70 @@
+package obs_test
+
+import (
+	"testing"
+
+	"sccsim/internal/harness"
+	"sccsim/internal/obs"
+	"sccsim/internal/pipeline"
+	"sccsim/internal/scc"
+	"sccsim/internal/workloads"
+)
+
+// TestCPIStackPartitionsCycles pins the top-down accounting's core
+// property: the nine CPI slots are an exact partition of machine cycles
+// — at the end of the run AND inside every sampler interval — for both
+// the baseline and the SCC pipeline across workload classes. A cycle
+// charged to two slots (or none) breaks the equality immediately.
+func TestCPIStackPartitionsCycles(t *testing.T) {
+	configs := map[string]pipeline.Config{
+		"baseline": pipeline.Icelake(),
+		"scc-full": pipeline.IcelakeSCC(scc.LevelFull),
+	}
+	// One workload per behaviour class: frontend-heavy, memory-bound,
+	// compute/FP, branchy integer.
+	for _, wname := range []string{"xalancbmk", "mcf", "lbm", "gcc"} {
+		w, ok := workloads.ByName(wname)
+		if !ok {
+			t.Fatalf("unknown workload %q", wname)
+		}
+		for cname, cfg := range configs {
+			t.Run(wname+"/"+cname, func(t *testing.T) {
+				res, err := harness.RunOne(cfg, w,
+					harness.Options{MaxUops: 30_000, SampleEvery: 5_000})
+				if err != nil {
+					t.Fatal(err)
+				}
+				st := res.Stats
+				if got := st.CPIStackTotal(); got != st.Cycles {
+					t.Errorf("end of run: CPI slots sum to %d, machine ran %d cycles\n%+v",
+						got, st.Cycles, *st)
+				}
+				if st.CPIRetiring == 0 {
+					t.Error("no cycle attributed to retiring")
+				}
+				if len(res.Samples) == 0 {
+					t.Fatal("sampling produced no intervals")
+				}
+				var sum uint64
+				for _, iv := range res.Samples {
+					if got := iv.CPITotal(); got != iv.Cycles {
+						t.Errorf("interval %d: CPI slots sum to %d, window spans %d cycles",
+							iv.Index, got, iv.Cycles)
+					}
+					sum += iv.CPITotal()
+				}
+				if sum != st.Cycles {
+					t.Errorf("interval CPI totals sum to %d, run took %d cycles", sum, st.Cycles)
+				}
+				// The manifest's fractional stack must normalize to 1.
+				stack := obs.NewCPIStack(st)
+				total := stack.Retiring + stack.BadSpecMispredict + stack.BadSpecSquash +
+					stack.BackendROB + stack.BackendIQ + stack.BackendLSQ + stack.BackendExec +
+					stack.FrontendICache + stack.FrontendUop
+				if total < 0.999999 || total > 1.000001 {
+					t.Errorf("fractional stack sums to %v, want 1", total)
+				}
+			})
+		}
+	}
+}

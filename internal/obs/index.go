@@ -19,6 +19,7 @@ type IndexEntry struct {
 	IPC                 float64 `json:"ipc"`
 	DynamicUopReduction float64 `json:"dynamic_uop_reduction"`
 	EnergyJ             float64 `json:"energy_j"`
+	CPIRetiring         float64 `json:"cpi_retiring"`
 	SampleIntervals     int     `json:"sample_intervals"`
 	WallMS              float64 `json:"wall_ms,omitempty"`
 	UopsPerSec          float64 `json:"uops_per_sec,omitempty"`
@@ -48,6 +49,7 @@ func (ix *Index) Add(file, experiment string, m *Manifest) {
 		IPC:                 m.Derived.IPC,
 		DynamicUopReduction: m.Derived.DynamicUopReduction,
 		EnergyJ:             m.Derived.EnergyJ,
+		CPIRetiring:         m.Derived.CPIStack.Retiring,
 		SampleIntervals:     len(m.Samples),
 	}
 	if m.Timing != nil {

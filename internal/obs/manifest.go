@@ -12,6 +12,7 @@ import (
 	"sccsim/internal/pipeline"
 	"sccsim/internal/power"
 	"sccsim/internal/scc"
+	"sccsim/internal/stats"
 )
 
 // Manifest is the machine-readable artifact of one (workload,
@@ -54,6 +55,52 @@ type Derived struct {
 	BranchMPKI          float64 `json:"branch_mpki"`
 	SquashOverhead      float64 `json:"squash_overhead"`
 	EnergyJ             float64 `json:"energy_j"`
+	// CPIStack is the whole-run top-down cycle attribution.
+	CPIStack CPIStack `json:"cpi_stack"`
+	// Eliminated breaks the dynamically eliminated micro-ops down by the
+	// SCC optimization that removed them (Section 6's attribution).
+	Eliminated ElimBreakdown `json:"eliminated"`
+}
+
+// CPIStack is the top-down cycle attribution as fractions of total
+// cycles; the slots sum to 1 for any run that executed at least a cycle.
+type CPIStack struct {
+	Retiring          float64 `json:"retiring"`
+	BadSpecMispredict float64 `json:"badspec_mispredict"`
+	BadSpecSquash     float64 `json:"badspec_squash"`
+	BackendROB        float64 `json:"backend_rob"`
+	BackendIQ         float64 `json:"backend_iq"`
+	BackendLSQ        float64 `json:"backend_lsq"`
+	BackendExec       float64 `json:"backend_exec"`
+	FrontendICache    float64 `json:"frontend_icache"`
+	FrontendUop       float64 `json:"frontend_uop"`
+}
+
+// NewCPIStack derives the fractional stack from a run's final counters.
+func NewCPIStack(st *pipeline.Stats) CPIStack {
+	c := float64(st.Cycles)
+	frac := func(n uint64) float64 { return stats.Ratio(float64(n), c) }
+	return CPIStack{
+		Retiring:          frac(st.CPIRetiring),
+		BadSpecMispredict: frac(st.CPIBadSpecMispredict),
+		BadSpecSquash:     frac(st.CPIBadSpecSquash),
+		BackendROB:        frac(st.CPIBackendROB),
+		BackendIQ:         frac(st.CPIBackendIQ),
+		BackendLSQ:        frac(st.CPIBackendLSQ),
+		BackendExec:       frac(st.CPIBackendExec),
+		FrontendICache:    frac(st.CPIFrontendICache),
+		FrontendUop:       frac(st.CPIFrontendUop),
+	}
+}
+
+// ElimBreakdown is the per-optimization-kind census of eliminated
+// micro-ops (plus propagation, which rewrites rather than removes).
+type ElimBreakdown struct {
+	Move       uint64 `json:"move"`
+	Fold       uint64 `json:"fold"`
+	Branch     uint64 `json:"branch"`
+	Dead       uint64 `json:"dead"`
+	Propagated uint64 `json:"propagated"`
 }
 
 // Timing is the run's wall-clock telemetry from the sweep scheduler.
@@ -88,6 +135,14 @@ func NewManifest(workload string, cfg pipeline.Config, st *pipeline.Stats,
 			BranchMPKI:          st.BranchMPKI(),
 			SquashOverhead:      st.SquashOverhead(),
 			EnergyJ:             energy.Total(),
+			CPIStack:            NewCPIStack(st),
+			Eliminated: ElimBreakdown{
+				Move:       st.ElimMove,
+				Fold:       st.ElimFold,
+				Branch:     st.ElimBranch,
+				Dead:       st.ElimDead,
+				Propagated: st.Propagated,
+			},
 		}
 	}
 	return m

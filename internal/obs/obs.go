@@ -18,24 +18,34 @@ import "runtime/debug"
 // Bumping it invalidates content hashes (ConfigHash folds it in), which
 // is exactly the invalidation rule the result cache keyed on manifests
 // wants (ROADMAP: invalidate on simulator-version bump).
-const Version = "sccsim-0.2"
+const Version = "sccsim-0.3"
 
 // SchemaVersion is the manifest JSON schema revision, bumped whenever a
 // field changes meaning or is removed (additions are backwards
 // compatible and do not bump it).
 const SchemaVersion = 1
 
-// gitRevision reports the VCS revision baked into the binary, or "" when
+// gitRevision reports the VCS revision baked into the binary ("+dirty"
+// appended when the working tree had uncommitted changes), or "" when
 // the build carries no VCS stamp (go test, go run from a tarball).
 func gitRevision() string {
 	bi, ok := debug.ReadBuildInfo()
 	if !ok {
 		return ""
 	}
+	var rev, dirty string
 	for _, s := range bi.Settings {
-		if s.Key == "vcs.revision" {
-			return s.Value
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
 		}
 	}
-	return ""
+	if rev == "" {
+		return ""
+	}
+	return rev + dirty
 }

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"sccsim/internal/pipeline"
+)
+
+// o3TickPerCycle scales machine cycles into O3PipeView ticks. gem5 emits
+// ticks (picoseconds) rather than cycles; viewers recover the clock by
+// looking at stage deltas, so any constant works — 1000 matches the
+// resolution gem5's own o3-pipeview.py assumes by default.
+const o3TickPerCycle = 1000
+
+// DefaultPipeTraceLimit bounds the lifecycle ring buffer when the caller
+// does not choose a capacity: at seven lines per micro-op a full buffer
+// renders to roughly 20 MB of trace text, about the largest file pipeline
+// viewers still open comfortably.
+const DefaultPipeTraceLimit = 1 << 16
+
+// PipeTracer accumulates per-uop pipeline lifecycle records (the
+// pipeline.SetUopTraceHook stream) into a bounded ring buffer and renders
+// them in the gem5 O3PipeView text format that Kanata-compatible pipeline
+// viewers (Konata) auto-detect. Keeping the *last* N micro-ops matches
+// how the trace is used: the steady state after warmup is the interesting
+// window, and the bound keeps tracing usable on long runs.
+//
+// Like every obs observer it is a pure tap: it never feeds back into the
+// simulation, so enabling it cannot change results (only wall clock).
+type PipeTracer struct {
+	cap   int
+	recs  []pipeline.UopTrace
+	head  int    // ring start when full
+	total uint64 // records ever observed
+}
+
+// NewPipeTracer returns a tracer keeping the last capacity micro-ops
+// (capacity <= 0 selects DefaultPipeTraceLimit).
+func NewPipeTracer(capacity int) *PipeTracer {
+	if capacity <= 0 {
+		capacity = DefaultPipeTraceLimit
+	}
+	return &PipeTracer{cap: capacity}
+}
+
+// Attach registers the tracer on the machine's per-uop trace hook. Call
+// before (*pipeline.Machine).Run.
+func (t *PipeTracer) Attach(m *pipeline.Machine) { m.SetUopTraceHook(t.observe) }
+
+func (t *PipeTracer) observe(u *pipeline.UopTrace) {
+	t.total++
+	if len(t.recs) < t.cap {
+		t.recs = append(t.recs, *u)
+		return
+	}
+	t.recs[t.head] = *u
+	t.head = (t.head + 1) % t.cap
+}
+
+// Total returns how many micro-ops the tracer observed (including those
+// the ring has since evicted).
+func (t *PipeTracer) Total() uint64 { return t.total }
+
+// Dropped returns how many observed micro-ops fell out of the ring.
+func (t *PipeTracer) Dropped() uint64 { return t.total - uint64(len(t.recs)) }
+
+// Records returns the retained lifecycle records in retire order.
+func (t *PipeTracer) Records() []pipeline.UopTrace {
+	out := make([]pipeline.UopTrace, 0, len(t.recs))
+	out = append(out, t.recs[t.head:]...)
+	out = append(out, t.recs[:t.head]...)
+	return out
+}
+
+// WriteO3PipeView renders the retained records as a gem5 O3PipeView
+// trace: one seven-line group per dynamic micro-op, in retire order.
+// Squashed micro-ops carry a retire tick of 0 — the O3PipeView flush
+// convention, which viewers render as pipeline flushes.
+func (t *PipeTracer) WriteO3PipeView(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range t.Records() {
+		tick := func(c uint64) uint64 { return c * o3TickPerCycle }
+		fmt.Fprintf(bw, "O3PipeView:fetch:%d:0x%08x:%d:%d:%s\n",
+			tick(r.FetchCycle), r.PC, r.Seq, r.ID, r.Disasm)
+		fmt.Fprintf(bw, "O3PipeView:decode:%d\n", tick(r.DecodeCycle))
+		fmt.Fprintf(bw, "O3PipeView:rename:%d\n", tick(r.RenameCycle))
+		fmt.Fprintf(bw, "O3PipeView:dispatch:%d\n", tick(r.RenameCycle))
+		fmt.Fprintf(bw, "O3PipeView:issue:%d\n", tick(r.IssueCycle))
+		fmt.Fprintf(bw, "O3PipeView:complete:%d\n", tick(r.CompleteCycle))
+		retire := uint64(0)
+		if !r.Doomed {
+			retire = tick(r.CommitCycle)
+		}
+		fmt.Fprintf(bw, "O3PipeView:retire:%d:store:0\n", retire)
+	}
+	return bw.Flush()
+}
+
+// WriteFile renders the trace to path (0644, truncating).
+func (t *PipeTracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteO3PipeView(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

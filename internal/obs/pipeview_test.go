@@ -1,0 +1,216 @@
+package obs_test
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sccsim/internal/harness"
+	"sccsim/internal/obs"
+	"sccsim/internal/pipeline"
+	"sccsim/internal/scc"
+	"sccsim/internal/workloads"
+)
+
+// runTraced runs a workload with a PipeTracer attached and returns it.
+func runTraced(t *testing.T, name string, maxUops uint64, capacity int) *obs.PipeTracer {
+	t.Helper()
+	w, ok := workloads.ByName(name)
+	if !ok {
+		t.Fatalf("unknown workload %q", name)
+	}
+	tracer := obs.NewPipeTracer(capacity)
+	_, err := harness.RunOne(pipeline.IcelakeSCC(scc.LevelFull), w,
+		harness.Options{MaxUops: maxUops, Observe: tracer.Attach})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tracer
+}
+
+// o3Group is one parsed seven-line O3PipeView record.
+type o3Group struct {
+	fetch, decode, rename, dispatch, issue, complete, retire uint64
+	pc                                                       uint64
+	disasm                                                   string
+}
+
+// parseO3 validates the trace's line structure and returns the groups.
+func parseO3(t *testing.T, data []byte) []o3Group {
+	t.Helper()
+	stageTick := func(line, stage string) uint64 {
+		prefix := "O3PipeView:" + stage + ":"
+		if !strings.HasPrefix(line, prefix) {
+			t.Fatalf("want %q line, got %q", prefix, line)
+		}
+		rest := strings.TrimPrefix(line, prefix)
+		if i := strings.IndexByte(rest, ':'); i >= 0 {
+			rest = rest[:i]
+		}
+		tick, err := strconv.ParseUint(rest, 10, 64)
+		if err != nil {
+			t.Fatalf("bad tick in %q: %v", line, err)
+		}
+		return tick
+	}
+
+	var lines []string
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if len(lines) == 0 || len(lines)%7 != 0 {
+		t.Fatalf("trace has %d lines; want a positive multiple of 7", len(lines))
+	}
+
+	var groups []o3Group
+	for i := 0; i < len(lines); i += 7 {
+		var g o3Group
+		// fetch line: O3PipeView:fetch:<tick>:0x<pc>:<upc>:<sn>:<disasm>
+		parts := strings.SplitN(lines[i], ":", 7)
+		if len(parts) != 7 || parts[0] != "O3PipeView" || parts[1] != "fetch" {
+			t.Fatalf("bad fetch line %q", lines[i])
+		}
+		g.fetch, _ = strconv.ParseUint(parts[2], 10, 64)
+		pc, err := strconv.ParseUint(strings.TrimPrefix(parts[3], "0x"), 16, 64)
+		if err != nil {
+			t.Fatalf("bad pc in %q: %v", lines[i], err)
+		}
+		g.pc = pc
+		g.disasm = parts[6]
+		if g.disasm == "" {
+			t.Errorf("empty disasm in %q", lines[i])
+		}
+		g.decode = stageTick(lines[i+1], "decode")
+		g.rename = stageTick(lines[i+2], "rename")
+		g.dispatch = stageTick(lines[i+3], "dispatch")
+		g.issue = stageTick(lines[i+4], "issue")
+		g.complete = stageTick(lines[i+5], "complete")
+		g.retire = stageTick(lines[i+6], "retire")
+		if !strings.HasSuffix(lines[i+6], ":store:0") {
+			t.Errorf("retire line missing store suffix: %q", lines[i+6])
+		}
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// TestPipeViewFormat checks every emitted record is a well-formed
+// O3PipeView group with cycle-scaled, per-uop monotone stage ticks —
+// what Konata needs to render the trace.
+func TestPipeViewFormat(t *testing.T) {
+	tracer := runTraced(t, "xalancbmk", 20_000, 0)
+	if tracer.Total() == 0 {
+		t.Fatal("tracer observed nothing")
+	}
+	var buf bytes.Buffer
+	if err := tracer.WriteO3PipeView(&buf); err != nil {
+		t.Fatal(err)
+	}
+	groups := parseO3(t, buf.Bytes())
+	if uint64(len(groups)) != tracer.Total()-tracer.Dropped() {
+		t.Fatalf("trace has %d groups, tracer retained %d", len(groups), tracer.Total()-tracer.Dropped())
+	}
+	prevRetire := uint64(0)
+	flushed := 0
+	for i, g := range groups {
+		for _, tick := range []uint64{g.fetch, g.decode, g.rename, g.issue, g.complete, g.retire} {
+			if tick%1000 != 0 {
+				t.Fatalf("group %d: tick %d not cycle-scaled", i, tick)
+			}
+		}
+		stages := []uint64{g.fetch, g.decode, g.rename, g.dispatch, g.issue, g.complete}
+		for j := 1; j < len(stages); j++ {
+			if stages[j] < stages[j-1] {
+				t.Fatalf("group %d (%s): stage %d tick %d precedes stage %d tick %d",
+					i, g.disasm, j, stages[j], j-1, stages[j-1])
+			}
+		}
+		if g.retire == 0 {
+			flushed++ // squashed uop: the O3PipeView flush convention
+			continue
+		}
+		if g.retire < g.complete {
+			t.Fatalf("group %d retires at %d before completing at %d", i, g.retire, g.complete)
+		}
+		if g.retire < prevRetire {
+			t.Fatalf("group %d retire tick %d out of order (prev %d)", i, g.retire, prevRetire)
+		}
+		prevRetire = g.retire
+	}
+	if flushed == len(groups) {
+		t.Error("every group claims to be flushed")
+	}
+}
+
+// TestPipeViewRingBuffer pins the last-N retention semantics.
+func TestPipeViewRingBuffer(t *testing.T) {
+	const keep = 512
+	tracer := runTraced(t, "xalancbmk", 20_000, keep)
+	if tracer.Total() <= keep {
+		t.Fatalf("workload too small to overflow the ring (total %d)", tracer.Total())
+	}
+	recs := tracer.Records()
+	if len(recs) != keep {
+		t.Fatalf("ring holds %d records, want %d", len(recs), keep)
+	}
+	if got := tracer.Dropped(); got != tracer.Total()-keep {
+		t.Fatalf("Dropped() = %d, want %d", got, tracer.Total()-keep)
+	}
+	// Retire order within the retained window: IDs mint at fetch, so they
+	// are not sorted here, but the window must hold the *latest* uops.
+	maxID := uint64(0)
+	for _, r := range recs {
+		if r.ID > maxID {
+			maxID = r.ID
+		}
+	}
+	if maxID != tracer.Total()-1 {
+		t.Errorf("ring lost the newest record: max ID %d, total %d", maxID, tracer.Total())
+	}
+}
+
+// TestPipeViewGolden pins a small workload's trace byte-for-byte:
+// regenerate with `go test ./internal/obs -run PipeViewGolden -update`.
+func TestPipeViewGolden(t *testing.T) {
+	tracer := runTraced(t, "xalancbmk", 2_000, 0)
+	var buf bytes.Buffer
+	if err := tracer.WriteO3PipeView(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "pipeview_xalancbmk.golden.txt")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("pipeline trace deviates from golden file %s;\n"+
+			"if the change is intentional rerun with -update", golden)
+	}
+	parseO3(t, want) // the golden itself must stay well-formed
+}
+
+// TestPipeViewWriteFile covers the file-writing path the CLIs use.
+func TestPipeViewWriteFile(t *testing.T) {
+	tracer := runTraced(t, "xalancbmk", 2_000, 0)
+	path := filepath.Join(t.TempDir(), "trace.txt")
+	if err := tracer.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parseO3(t, data)) == 0 {
+		t.Fatal("written trace is empty")
+	}
+}

@@ -23,6 +23,7 @@ type Interval struct {
 	ElimMove   uint64 `json:"elim_move"`
 	ElimFold   uint64 `json:"elim_fold"`
 	ElimBranch uint64 `json:"elim_branch"`
+	ElimDead   uint64 `json:"elim_dead"`
 
 	FetchDecodeSlots uint64 `json:"fetch_decode_slots"`
 	FetchUnoptSlots  uint64 `json:"fetch_unopt_slots"`
@@ -32,12 +33,33 @@ type Interval struct {
 	SquashedUops uint64 `json:"squashed_uops"`
 	Mispredicts  uint64 `json:"branch_mispredicts"`
 
+	// Per-window top-down CPI stack (cycle deltas). The nine slots sum
+	// exactly to Cycles in every interval — the pipeline attributes each
+	// cycle to one slot before the sample hook fires.
+	CPIRetiring          uint64 `json:"cpi_retiring"`
+	CPIBadSpecMispredict uint64 `json:"cpi_badspec_mispredict"`
+	CPIBadSpecSquash     uint64 `json:"cpi_badspec_squash"`
+	CPIBackendROB        uint64 `json:"cpi_backend_rob"`
+	CPIBackendIQ         uint64 `json:"cpi_backend_iq"`
+	CPIBackendLSQ        uint64 `json:"cpi_backend_lsq"`
+	CPIBackendExec       uint64 `json:"cpi_backend_exec"`
+	CPIFrontendICache    uint64 `json:"cpi_frontend_icache"`
+	CPIFrontendUop       uint64 `json:"cpi_frontend_uop"`
+
 	// Derived per-interval metrics (zero-guarded).
 	IPC             float64 `json:"ipc"`
 	UopReduction    float64 `json:"uop_reduction"`
 	OptShare        float64 `json:"opt_share"` // optimized-partition fraction of fetched slots
 	SquashesPerKuop float64 `json:"squashes_per_kuop"`
 	MPKI            float64 `json:"mpki"`
+}
+
+// CPITotal sums the interval's CPI-stack slots; the accounting invariant
+// guarantees it equals the interval's Cycles delta.
+func (iv *Interval) CPITotal() uint64 {
+	return iv.CPIRetiring + iv.CPIBadSpecMispredict + iv.CPIBadSpecSquash +
+		iv.CPIBackendROB + iv.CPIBackendIQ + iv.CPIBackendLSQ + iv.CPIBackendExec +
+		iv.CPIFrontendICache + iv.CPIFrontendUop
 }
 
 // Sampler accumulates a run's interval series from the pipeline's sample
@@ -80,6 +102,17 @@ func (s *Sampler) record(cur pipeline.Stats) {
 		ElimMove:   cur.ElimMove - p.ElimMove,
 		ElimFold:   cur.ElimFold - p.ElimFold,
 		ElimBranch: cur.ElimBranch - p.ElimBranch,
+		ElimDead:   cur.ElimDead - p.ElimDead,
+
+		CPIRetiring:          cur.CPIRetiring - p.CPIRetiring,
+		CPIBadSpecMispredict: cur.CPIBadSpecMispredict - p.CPIBadSpecMispredict,
+		CPIBadSpecSquash:     cur.CPIBadSpecSquash - p.CPIBadSpecSquash,
+		CPIBackendROB:        cur.CPIBackendROB - p.CPIBackendROB,
+		CPIBackendIQ:         cur.CPIBackendIQ - p.CPIBackendIQ,
+		CPIBackendLSQ:        cur.CPIBackendLSQ - p.CPIBackendLSQ,
+		CPIBackendExec:       cur.CPIBackendExec - p.CPIBackendExec,
+		CPIFrontendICache:    cur.CPIFrontendICache - p.CPIFrontendICache,
+		CPIFrontendUop:       cur.CPIFrontendUop - p.CPIFrontendUop,
 
 		FetchDecodeSlots: cur.UopsFromDecode - p.UopsFromDecode,
 		FetchUnoptSlots:  cur.UopsFromUnopt - p.UopsFromUnopt,

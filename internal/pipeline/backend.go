@@ -113,7 +113,16 @@ type robEntry struct {
 	doomed   bool // squash-bound uop from a violated compacted stream
 	slot     bool // first uop of its fused slot
 	macroEnd bool // last uop of its macro-op
+	tr       *UopTrace
 }
+
+// dispatch-block reasons, for the CPI stack's backend-bound attribution.
+const (
+	blockNone = iota
+	blockROB
+	blockIQ
+	blockLSQ
+)
 
 // backend is the out-of-order execution engine model.
 type backend struct {
@@ -137,6 +146,14 @@ type backend struct {
 	// storeReady maps an 8-byte-aligned address to the cycle its most
 	// recent store's data is forwardable.
 	storeReady map[uint64]uint64
+
+	// lastIssue is the wakeup/select cycle of the most recent dispatch —
+	// read by the lifecycle tracer right after a dispatch call.
+	lastIssue uint64
+
+	// traceFn receives each retiring/flushed micro-op's lifecycle record
+	// (SetUopTraceHook); nil when tracing is off.
+	traceFn func(*UopTrace)
 }
 
 func newBackend(cfg *Config, hier *cache.Hierarchy) *backend {
@@ -157,18 +174,25 @@ func (b *backend) robLen() int { return len(b.rob) - b.robHead }
 
 // canDispatch reports whether the back end has room for one more uop.
 func (b *backend) canDispatch(now uint64, isMem bool) bool {
+	return b.dispatchBlock(now, isMem) == blockNone
+}
+
+// dispatchBlock reports which structure (if any) blocks the next dispatch,
+// checked in ROB → IQ → LSQ order so the CPI stack charges the outermost
+// full structure.
+func (b *backend) dispatchBlock(now uint64, isMem bool) int {
 	b.iq.drain(now)
 	b.lsq.drain(now)
 	if b.robLen() >= b.cfg.ROBSize {
-		return false
+		return blockROB
 	}
 	if b.iq.Len() >= b.cfg.IQSize {
-		return false
+		return blockIQ
 	}
 	if isMem && b.lsq.Len() >= b.cfg.LSQSize {
-		return false
+		return blockLSQ
 	}
-	return true
+	return blockNone
 }
 
 func (b *backend) srcReady(u *uop.UOp) uint64 {
@@ -196,11 +220,10 @@ func (b *backend) dispatch(u *uop.UOp, now uint64, memAddr uint64, doomed bool, 
 	if ready < now {
 		ready = now
 	}
-	var complete uint64
+	var start, complete uint64
 
 	switch u.Kind {
 	case uop.KAlu:
-		var start uint64
 		switch u.Fn {
 		case isa.FnMul:
 			start, complete = b.mulFU.issue(ready)
@@ -216,10 +239,10 @@ func (b *backend) dispatch(u *uop.UOp, now uint64, memAddr uint64, doomed bool, 
 	case uop.KMovImm, uop.KNop, uop.KHalt:
 		// Zero-latency at rename (immediate moves resolve in the map
 		// table; nop/halt occupy only the ROB).
-		complete = ready
+		start, complete = ready, ready
 	case uop.KMov:
 		// Rename-time move elimination (Icelake baseline feature).
-		complete = ready
+		start, complete = ready, ready
 		st.RenameMoveElim++
 	case uop.KLoad:
 		lat := b.hier.LoadLatency(memAddr)
@@ -233,13 +256,11 @@ func (b *backend) dispatch(u *uop.UOp, now uint64, memAddr uint64, doomed bool, 
 				lat = b.hier.L1D.Config().Latency
 			}
 		}
-		var start uint64
 		start, complete = b.mem.issueLatency(ready, lat)
 		heap.Push(&b.iq, start)
 		heap.Push(&b.lsq, complete)
 		st.Loads++
 	case uop.KStore:
-		var start uint64
 		start, complete = b.mem.issueLatency(ready, 1)
 		b.hier.StoreAccess(memAddr)
 		if !doomed {
@@ -252,29 +273,29 @@ func (b *backend) dispatch(u *uop.UOp, now uint64, memAddr uint64, doomed bool, 
 		heap.Push(&b.lsq, complete)
 		st.Stores++
 	case uop.KBranch, uop.KJump, uop.KJumpReg:
-		var start uint64
 		start, complete = b.intALU.issue(ready)
 		heap.Push(&b.iq, start)
 		st.IntOps++
 	case uop.KFp:
-		var start uint64
 		start, complete = b.fpFU.issue(ready)
 		heap.Push(&b.iq, start)
 		st.FPOps++
 	default:
-		complete = ready
+		start, complete = ready, ready
 	}
 
 	if u.HasDst() && !doomed {
 		b.regReady[u.Dst] = complete
 	}
+	b.lastIssue = start
 	st.IssuedUops++
 	return complete
 }
 
-// pushROB appends the dispatched uop for in-order commit tracking.
-func (b *backend) pushROB(complete uint64, doomed, slot, macroEnd bool) {
-	b.rob = append(b.rob, robEntry{complete: complete, doomed: doomed, slot: slot, macroEnd: macroEnd})
+// pushROB appends the dispatched uop for in-order commit tracking. tr is
+// the uop's lifecycle record (nil unless tracing is enabled).
+func (b *backend) pushROB(complete uint64, doomed, slot, macroEnd bool, tr *UopTrace) {
+	b.rob = append(b.rob, robEntry{complete: complete, doomed: doomed, slot: slot, macroEnd: macroEnd, tr: tr})
 }
 
 // inlineLiveOut makes a rename-time-inlined constant immediately available
@@ -306,6 +327,17 @@ func (b *backend) commit(now uint64, st *Stats) int {
 			if e.macroEnd {
 				st.CommittedMacros++
 			}
+		}
+		if e.tr != nil {
+			// Deliver the lifecycle record in retire order; flushed uops
+			// keep CommitCycle == 0 (the O3PipeView squash convention).
+			if !e.doomed {
+				e.tr.CommitCycle = now
+			}
+			if b.traceFn != nil {
+				b.traceFn(e.tr)
+			}
+			e.tr = nil
 		}
 	}
 	// Compact the ROB slice once the head grows large.

@@ -201,9 +201,9 @@ func TestBackendCommitInOrder(t *testing.T) {
 	be, _ := newTestBackend()
 	var st Stats
 	// Three uops completing out of order: 10, 3, 5.
-	be.pushROB(10, false, true, true)
-	be.pushROB(3, false, true, true)
-	be.pushROB(5, false, true, true)
+	be.pushROB(10, false, true, true, nil)
+	be.pushROB(3, false, true, true, nil)
+	be.pushROB(5, false, true, true, nil)
 	if n := be.commit(4, &st); n != 0 {
 		t.Errorf("committed %d at cycle 4; head completes at 10", n)
 	}
@@ -219,7 +219,7 @@ func TestBackendCommitWidthBound(t *testing.T) {
 	be, cfg := newTestBackend()
 	var st Stats
 	for i := 0; i < 20; i++ {
-		be.pushROB(1, false, true, false)
+		be.pushROB(1, false, true, false, nil)
 	}
 	if n := be.commit(5, &st); n != cfg.CommitWidth {
 		t.Errorf("committed %d, want commit width %d", n, cfg.CommitWidth)
@@ -229,8 +229,8 @@ func TestBackendCommitWidthBound(t *testing.T) {
 func TestBackendDoomedCommitCountsAsSquashed(t *testing.T) {
 	be, _ := newTestBackend()
 	var st Stats
-	be.pushROB(1, true, true, false)
-	be.pushROB(1, false, true, false)
+	be.pushROB(1, true, true, false, nil)
+	be.pushROB(1, false, true, false, nil)
 	be.commit(5, &st)
 	if st.SquashedUops != 1 || st.CommittedUops != 1 {
 		t.Errorf("squashed=%d committed=%d", st.SquashedUops, st.CommittedUops)
@@ -242,7 +242,7 @@ func TestBackendCanDispatchLimits(t *testing.T) {
 	var st Stats
 	// Fill the ROB with incomplete uops.
 	for i := 0; i < cfg.ROBSize; i++ {
-		be.pushROB(1<<60, false, true, false)
+		be.pushROB(1<<60, false, true, false, nil)
 	}
 	if be.canDispatch(10, false) {
 		t.Error("dispatch allowed with a full ROB")

@@ -29,6 +29,15 @@ type idqEntry struct {
 	redirect bool // fetch resumes only after this uop completes (+ penalty)
 	liveOuts []uopcache.LiveOut
 	source   int
+	tr       *UopTrace // lifecycle record (nil unless tracing is enabled)
+}
+
+// cpiSig collects the per-cycle stall signals the CPI-stack classifier
+// consumes; reset at the top of every cycle.
+type cpiSig struct {
+	redirectStall  bool // fetch stalled waiting out a redirect
+	redirectSquash bool // ... and the redirect is an SCC squash
+	block          int  // dispatch-block reason (blockNone when unblocked)
 }
 
 // stream is a run of fetched entries being pushed into the IDQ.
@@ -84,6 +93,13 @@ type Machine struct {
 	sampleFn    func(Stats)
 	sampleEvery uint64
 	nextSample  uint64
+
+	// Per-uop lifecycle tracing hook (SetUopTraceHook); nil = off.
+	traceFn  func(*UopTrace)
+	traceSeq uint64
+
+	// sig carries this cycle's stall signals into the CPI classifier.
+	sig cpiSig
 
 	cycle uint64
 	done  bool
@@ -159,18 +175,25 @@ func (m *Machine) Run() (*Stats, error) {
 	for !m.done {
 		m.cycle++
 		m.Stats.Cycles = m.cycle
+		m.sig = cpiSig{}
+		prevCommitted := m.Stats.CommittedUops
+		prevSquashed := m.Stats.SquashedUops
 
 		m.be.commit(m.cycle, &m.Stats)
+		m.dispatch()
+		m.fetch()
+		m.sccTick()
+		m.UC.Tick()
+
+		// Attribute the cycle to its CPI-stack slot, then sample: the
+		// hook thereby always observes slots summing exactly to Cycles.
+		m.accountCycle(m.Stats.CommittedUops-prevCommitted, m.Stats.SquashedUops-prevSquashed)
 		if m.sampleFn != nil && m.Stats.CommittedUops >= m.nextSample {
 			m.sampleFn(m.Stats)
 			for m.nextSample <= m.Stats.CommittedUops {
 				m.nextSample += m.sampleEvery
 			}
 		}
-		m.dispatch()
-		m.fetch()
-		m.sccTick()
-		m.UC.Tick()
 
 		if m.Stats.CommittedUops != lastCommitted {
 			lastCommitted = m.Stats.CommittedUops
@@ -195,6 +218,41 @@ func (m *Machine) Run() (*Stats, error) {
 func (m *Machine) streamEmpty() bool { return m.cur.idx >= len(m.cur.entries) }
 func (m *Machine) idqEmpty() bool    { return m.idqHead >= len(m.idq) }
 
+// accountCycle lands the just-simulated cycle in exactly one CPI-stack
+// slot (top-down attribution). Priority: useful work, then wasted work
+// (bad speculation), then structural backend stalls, then execution
+// latency, then the front end — so the stack explains the *bottleneck*
+// of each cycle, and the slots sum to Cycles by construction.
+func (m *Machine) accountCycle(retired, squashed uint64) {
+	st := &m.Stats
+	switch {
+	case retired > 0:
+		st.CPIRetiring++
+	case squashed > 0 || (m.sig.redirectStall && m.sig.redirectSquash):
+		// Doomed uops draining through commit, or fetch waiting out an
+		// SCC invariant-violation squash: wasted speculative work.
+		st.CPIBadSpecSquash++
+	case m.sig.redirectStall:
+		st.CPIBadSpecMispredict++
+	case m.sig.block == blockROB:
+		st.CPIBackendROB++
+	case m.sig.block == blockIQ:
+		st.CPIBackendIQ++
+	case m.sig.block == blockLSQ:
+		st.CPIBackendLSQ++
+	case m.be.robLen() > 0:
+		// Nothing retired and dispatch was not structurally blocked, but
+		// work is in flight: waiting on FU/memory latency or contention.
+		st.CPIBackendExec++
+	case !m.streamEmpty() && m.cycle < m.cur.readyAt && m.cur.source == srcDecode:
+		// The pending stream is serving an icache fetch + legacy decode.
+		st.CPIFrontendICache++
+	default:
+		// Empty pipe with no excuse from the back end: uop delivery.
+		st.CPIFrontendUop++
+	}
+}
+
 // --- dispatch: IDQ → back end ---
 
 func (m *Machine) dispatch() {
@@ -202,12 +260,18 @@ func (m *Machine) dispatch() {
 	for !m.idqEmpty() && slots < m.Cfg.RenameWidth {
 		e := &m.idq[m.idqHead]
 		isMem := e.u.Kind == uop.KLoad || e.u.Kind == uop.KStore
-		if !m.be.canDispatch(m.cycle, isMem) {
+		if block := m.be.dispatchBlock(m.cycle, isMem); block != blockNone {
 			m.Stats.ROBStallCycles++
+			m.sig.block = block
 			return
 		}
 		complete := m.be.dispatch(&e.u, m.cycle, e.memAddr, e.doomed, &m.Stats)
-		m.be.pushROB(complete, e.doomed, !e.u.FusedWithPrev, e.u.SeqNum == e.u.NumInMacro-1)
+		if e.tr != nil {
+			e.tr.RenameCycle = m.cycle
+			e.tr.IssueCycle = m.be.lastIssue
+			e.tr.CompleteCycle = complete
+		}
+		m.be.pushROB(complete, e.doomed, !e.u.FusedWithPrev, e.u.SeqNum == e.u.NumInMacro-1, e.tr)
 		m.Stats.RenamedUops++
 		if e.redirect && m.resumeFetchAt == 0 {
 			m.resumeFetchAt = complete + uint64(m.Cfg.RedirectLatency)
@@ -258,6 +322,8 @@ func (m *Machine) fetch() {
 		// Stream exhausted: handle pending redirects before building more.
 		if m.redirectPending {
 			if m.resumeFetchAt == 0 || m.cycle < m.resumeFetchAt {
+				m.sig.redirectStall = true
+				m.sig.redirectSquash = m.redirectIsSquash
 				if m.redirectIsSquash {
 					m.Stats.SquashCycles++
 				} else {
@@ -295,6 +361,9 @@ func (m *Machine) pushStream(budget int) (int, bool) {
 		if !e.u.FusedWithPrev && m.idqSlots >= m.Cfg.IDQSize {
 			m.Stats.IDQStallCycles++
 			return pushed, true
+		}
+		if e.tr != nil {
+			e.tr.DecodeCycle = m.cycle
 		}
 		m.idq = append(m.idq, e)
 		if !e.u.FusedWithPrev {
@@ -479,6 +548,9 @@ func (m *Machine) buildTrace(budgetSlots int, source int, latency uint64) []idqE
 		}
 		u := *res.U
 		e := idqEntry{u: u, memAddr: res.MemAddr, source: source}
+		if m.traceFn != nil {
+			e.tr = m.newUopTrace(&u, source, false)
+		}
 		m.trainValue(&u, res)
 		m.rasOnCall(&u)
 		stop := false
@@ -599,6 +671,7 @@ func (m *Machine) buildFromOpt(line *uopcache.Line) {
 	m.Stats.ElimMove += uint64(meta.ElimMove)
 	m.Stats.ElimFold += uint64(meta.ElimFold)
 	m.Stats.ElimBranch += uint64(meta.ElimBranch)
+	m.Stats.ElimDead += uint64(meta.ElimDead)
 	m.Stats.Propagated += uint64(meta.Propagated)
 	switch n := len(meta.LiveOuts); {
 	case n == 1:
@@ -613,6 +686,9 @@ func (m *Machine) buildFromOpt(line *uopcache.Line) {
 	for i := range line.Uops {
 		u := line.Uops[i]
 		e := idqEntry{u: u, source: srcOpt}
+		if m.traceFn != nil {
+			e.tr = m.newUopTrace(&u, srcOpt, false)
+		}
 		if res, ok := m.dryRes[scc.VPKey(&u)]; ok {
 			e.memAddr = res.MemAddr
 			// Retained uops execute: train the predictors so their state
@@ -682,6 +758,9 @@ func (m *Machine) buildDoomedStream(line *uopcache.Line, violated int) {
 	for i := range line.Uops {
 		u := line.Uops[i]
 		e := idqEntry{u: u, source: srcOpt, doomed: true}
+		if m.traceFn != nil {
+			e.tr = m.newUopTrace(&u, srcOpt, true)
+		}
 		if res, ok := m.dryRes[scc.VPKey(&u)]; ok {
 			e.memAddr = res.MemAddr
 		}

@@ -14,6 +14,7 @@ type Stats struct {
 	ElimMove   uint64
 	ElimFold   uint64
 	ElimBranch uint64
+	ElimDead   uint64 // dead code (nops) removed outright
 	Propagated uint64
 
 	// Fetch source mix (Figure 7).
@@ -64,6 +65,44 @@ type Stats struct {
 	IDQStallCycles  uint64
 	ROBStallCycles  uint64
 	FetchIdleCycles uint64
+
+	// Top-down CPI stack: every machine cycle is attributed to exactly
+	// one slot (retired work wins over stalls, bad speculation over
+	// structural stalls), so the nine slots always sum to Cycles — the
+	// invariant the property tests pin per sampling interval and at end
+	// of run. The grouping follows the classic top-down hierarchy:
+	//
+	//	retiring        CPIRetiring
+	//	bad speculation CPIBadSpecMispredict + CPIBadSpecSquash
+	//	backend bound   CPIBackendROB/IQ/LSQ (structure full) + CPIBackendExec
+	//	frontend bound  CPIFrontendICache (legacy fetch+decode latency)
+	//	                + CPIFrontendUop (uop-delivery starvation)
+	CPIRetiring          uint64 // >=1 micro-op retired this cycle
+	CPIBadSpecMispredict uint64 // fetch redirect after a branch mispredict
+	CPIBadSpecSquash     uint64 // SCC invariant-violation squash (incl. doomed-uop drain)
+	CPIBackendROB        uint64 // dispatch blocked: ROB full
+	CPIBackendIQ         uint64 // dispatch blocked: issue queue full
+	CPIBackendLSQ        uint64 // dispatch blocked: load/store queue full
+	CPIBackendExec       uint64 // in-flight work waiting on FU/memory latency
+	CPIFrontendICache    uint64 // waiting on an icache fetch + legacy decode
+	CPIFrontendUop       uint64 // IDQ empty: uop-cache/stream delivery gap
+}
+
+// CPIBadSpec returns the bad-speculation cycle total.
+func (s *Stats) CPIBadSpec() uint64 { return s.CPIBadSpecMispredict + s.CPIBadSpecSquash }
+
+// CPIBackend returns the backend-bound cycle total.
+func (s *Stats) CPIBackend() uint64 {
+	return s.CPIBackendROB + s.CPIBackendIQ + s.CPIBackendLSQ + s.CPIBackendExec
+}
+
+// CPIFrontend returns the frontend-bound cycle total.
+func (s *Stats) CPIFrontend() uint64 { return s.CPIFrontendICache + s.CPIFrontendUop }
+
+// CPIStackTotal sums every CPI-stack slot; it must equal Cycles at any
+// observation point (the accounting invariant).
+func (s *Stats) CPIStackTotal() uint64 {
+	return s.CPIRetiring + s.CPIBadSpec() + s.CPIBackend() + s.CPIFrontend()
 }
 
 // TotalFetchedSlots returns the fused slots delivered by all fetch sources.
@@ -81,7 +120,7 @@ func (s *Stats) IPC() float64 {
 
 // EliminatedUops returns the total dynamically eliminated micro-op count.
 func (s *Stats) EliminatedUops() uint64 {
-	return s.ElimMove + s.ElimFold + s.ElimBranch
+	return s.ElimMove + s.ElimFold + s.ElimBranch + s.ElimDead
 }
 
 // DynamicUopReduction returns eliminated/(committed+eliminated): the

@@ -1,0 +1,59 @@
+package pipeline
+
+import "sccsim/internal/uop"
+
+// Exported aliases of the fetch-source enumeration for trace consumers.
+const (
+	TraceSourceDecode = srcDecode // icache + legacy decode pipeline
+	TraceSourceUnopt  = srcUnopt  // unoptimized uop-cache partition
+	TraceSourceOpt    = srcOpt    // optimized (compacted) partition
+)
+
+// UopTrace records the pipeline lifecycle of one dynamic micro-op: the
+// cycle it passed each stage, its identity, and how it left the machine
+// (committed or flushed by an SCC squash). Records are delivered to the
+// SetUopTraceHook observer in retire order (commit is in-order), which is
+// exactly the order O3PipeView/Kanata viewers expect.
+type UopTrace struct {
+	ID     uint64 // dynamic micro-op id, assigned in fetch order
+	PC     uint64 // macro-op PC
+	Seq    uint8  // micro-op index within its macro-op (the "micro PC")
+	Disasm string // debug rendering of the micro-op
+	Source int    // TraceSourceDecode/Unopt/Opt
+	Doomed bool   // violated compacted stream: traversed for timing, flushed
+
+	// Stage timestamps in machine cycles. A doomed micro-op has
+	// CommitCycle == 0 (it never retires architecturally); every other
+	// field is monotonically nondecreasing in stage order.
+	FetchCycle    uint64 // stream construction (fetch engine)
+	DecodeCycle   uint64 // entry into the IDQ
+	RenameCycle   uint64 // rename/dispatch into the back end
+	IssueCycle    uint64 // functional-unit wakeup/select
+	CompleteCycle uint64 // execution complete
+	CommitCycle   uint64 // in-order retirement (0 when flushed)
+}
+
+// SetUopTraceHook registers fn to receive every dynamic micro-op's
+// lifecycle record at retirement (or squash). A nil fn disables tracing
+// (the default); the disabled path costs one nil check per micro-op, so
+// simulation results and timing are unaffected when off. The record
+// pointer is only valid for the duration of the call.
+func (m *Machine) SetUopTraceHook(fn func(*UopTrace)) {
+	m.traceFn = fn
+	m.be.traceFn = fn
+}
+
+// newUopTrace mints the lifecycle record for a freshly fetched micro-op.
+// Only called when tracing is enabled (the Disasm rendering allocates).
+func (m *Machine) newUopTrace(u *uop.UOp, source int, doomed bool) *UopTrace {
+	m.traceSeq++
+	return &UopTrace{
+		ID:         m.traceSeq - 1,
+		PC:         u.MacroPC,
+		Seq:        u.SeqNum,
+		Disasm:     u.String(),
+		Source:     source,
+		Doomed:     doomed,
+		FetchCycle: m.cycle,
+	}
+}

@@ -168,6 +168,7 @@ type Result struct {
 	ElimMove    int // register-immediate moves eliminated
 	ElimFold    int // micro-ops removed by constant folding
 	ElimBranch  int // branches folded away
+	ElimDead    int // dead micro-ops (nops) removed outright (DCE)
 	Propagated  int // register→immediate operand rewrites
 	DataInvUsed int
 	CtrlInvUsed int
@@ -414,8 +415,10 @@ func (c *compactor) processMacro(us []uop.UOp, regionOf uint64) (status walkStat
 
 		switch u.Kind {
 		case uop.KNop:
+			// Dead-code elimination proper: a nop carries no architectural
+			// effect, so it needs no invariant and can never be squashed.
 			if c.cfg.EnableMoveElim {
-				c.res.ElimMove++
+				c.res.ElimDead++
 				continue
 			}
 			c.emit(u)
@@ -670,6 +673,7 @@ func (c *compactor) finish(entryPC uint64) {
 		ElimMove:   c.res.ElimMove,
 		ElimFold:   c.res.ElimFold,
 		ElimBranch: c.res.ElimBranch,
+		ElimDead:   c.res.ElimDead,
 		Propagated: c.res.Propagated,
 	}
 	for _, lo := range c.rct.LiveOuts() {

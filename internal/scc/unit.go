@@ -14,6 +14,7 @@ type UnitStats struct {
 	ElimMove       uint64
 	ElimFold       uint64
 	ElimBranch     uint64
+	ElimDead       uint64
 	Propagated     uint64
 	DataInvariants uint64
 	CtrlInvariants uint64
@@ -83,6 +84,7 @@ func (u *Unit) Tick(now uint64) (Result, bool) {
 		u.Stats.ElimMove += uint64(res.ElimMove)
 		u.Stats.ElimFold += uint64(res.ElimFold)
 		u.Stats.ElimBranch += uint64(res.ElimBranch)
+		u.Stats.ElimDead += uint64(res.ElimDead)
 		u.Stats.Propagated += uint64(res.Propagated)
 		u.Stats.DataInvariants += uint64(res.DataInvUsed)
 		u.Stats.CtrlInvariants += uint64(res.CtrlInvUsed)

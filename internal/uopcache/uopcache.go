@@ -80,6 +80,7 @@ type CompactMeta struct {
 	ElimMove   int
 	ElimFold   int
 	ElimBranch int
+	ElimDead   int
 	Propagated int
 	// EndPC is the fall-through macro PC after the last uop of the
 	// original (uncompacted) sequence, where fetch resumes.
