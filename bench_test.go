@@ -217,6 +217,38 @@ func BenchmarkPipeTracerOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkJournalOverhead measures the SCC journal against the same run
+// with the journal detached (the default). Off, every hook site is a
+// nil-check and Compact collects no remarks — the disabled path must not
+// allocate per micro-op; on, the unit collects remarks and the aggregator
+// folds the event stream.
+func BenchmarkJournalOverhead(b *testing.B) {
+	w, ok := workloads.ByName("xalancbmk")
+	if !ok {
+		b.Fatal("unknown workload")
+	}
+	for _, journaled := range []bool{false, true} {
+		nm := "journal-off"
+		if journaled {
+			nm = "journal-on"
+		}
+		b.Run(nm, func(b *testing.B) {
+			opts := Options{MaxUops: 25_000, Journal: journaled}
+			var res *RunResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = Run(SCCConfig(LevelFull), w, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if journaled {
+				b.ReportMetric(float64(res.OptReport.Lines), "lines")
+			}
+		})
+	}
+}
+
 func BenchmarkSimBaselineXalancbmk(b *testing.B) { benchWorkload(b, "xalancbmk", BaselineConfig()) }
 func BenchmarkSimSCCXalancbmk(b *testing.B)      { benchWorkload(b, "xalancbmk", SCCConfig(LevelFull)) }
 func BenchmarkSimSCCMcf(b *testing.B)            { benchWorkload(b, "mcf", SCCConfig(LevelFull)) }

@@ -1,0 +1,40 @@
+package sccsim
+
+// CLI smoke tests: every command must answer -version with the shared
+// banner without running a simulation. Each invocation goes through
+// `go run`, so this doubles as a build check for the commands themselves.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+
+	"sccsim/internal/obs"
+)
+
+func TestCLIVersionFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI builds in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	for _, tool := range []string{"sccsim", "sccbench", "scctrace", "sccdiff"} {
+		t.Run(tool, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", "./cmd/"+tool, "-version").CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s -version: %v\n%s", tool, err, out)
+			}
+			got := strings.TrimSpace(string(out))
+			for _, frag := range []string{tool, obs.Version, "schema"} {
+				if !strings.Contains(got, frag) {
+					t.Errorf("%s -version = %q, missing %q", tool, got, frag)
+				}
+			}
+			if strings.Count(got, "\n") != 0 {
+				t.Errorf("%s -version printed more than the banner:\n%s", tool, got)
+			}
+		})
+	}
+}

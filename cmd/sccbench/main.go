@@ -55,8 +55,14 @@ func run() int {
 		progress   = flag.Bool("progress", false, "live sweep progress line (n/total, ETA) on stderr")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the harness to this path")
 		memProfile = flag.String("memprofile", "", "write a heap profile of the harness to this path")
+		version    = flag.Bool("version", false, "print the simulator version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.VersionString("sccbench"))
+		return 0
+	}
 
 	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {

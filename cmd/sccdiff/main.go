@@ -32,7 +32,9 @@ func main() {
 			"max tolerated absolute dynamic_uop_reduction decrease")
 		energyRise = flag.Float64("energy-rise", def.EnergyRise,
 			"max tolerated relative energy_j increase")
+		format  = flag.String("format", "text", "output format: text | markdown")
 		verbose = flag.Bool("v", false, "print all matched entries, not just regressions")
+		version = flag.Bool("version", false, "print the simulator version and exit")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: sccdiff [flags] <base-index> <new-index>\n")
@@ -40,6 +42,14 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionString("sccdiff"))
+		os.Exit(0)
+	}
+	if *format != "text" && *format != "markdown" {
+		fmt.Fprintf(os.Stderr, "sccdiff: unknown -format %q (text | markdown)\n", *format)
+		os.Exit(2)
+	}
 	if flag.NArg() != 2 {
 		flag.Usage()
 		os.Exit(2)
@@ -61,7 +71,11 @@ func main() {
 		ElimDrop:   *elimDrop,
 		EnergyRise: *energyRise,
 	})
-	rep.Write(os.Stdout, *verbose)
+	if *format == "markdown" {
+		rep.WriteMarkdown(os.Stdout)
+	} else {
+		rep.Write(os.Stdout, *verbose)
+	}
 	if rep.Regressions > 0 {
 		os.Exit(1)
 	}

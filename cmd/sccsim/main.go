@@ -51,7 +51,9 @@ func run() int {
 			"sweep worker count for library Options plumbing (a single run uses one)")
 		verbose = flag.Bool("v", false, "print the full counter dump")
 
+		version   = flag.Bool("version", false, "print the simulator version and exit")
 		jsonPath  = flag.String("json", "", "write the JSON run manifest to this path")
+		optReport = flag.String("optreport", "", "write the SCC optimization report to this path (\"-\" = stdout text, .json = JSON)")
 		tracePath = flag.String("trace", "", "write a Chrome trace-event (Perfetto) file to this path")
 		pipeview  = flag.String("pipeview", "", "write a per-uop pipeline lifecycle trace (gem5 O3PipeView format, opens in Konata) to this path")
 		pipeviewN = flag.Int("pipeview-limit", obs.DefaultPipeTraceLimit,
@@ -61,6 +63,15 @@ func run() int {
 		memProfile = flag.String("memprofile", "", "write a heap profile of the simulator to this path")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.VersionString("sccsim"))
+		return 0
+	}
+	if *pipeview != "" && *pipeviewN <= 0 {
+		fmt.Fprintf(os.Stderr, "sccsim: -pipeview-limit must be positive (got %d)\n", *pipeviewN)
+		return 2
+	}
 
 	if *list {
 		for _, w := range sccsim.Workloads() {
@@ -95,6 +106,7 @@ func run() int {
 	if *jsonPath != "" || *tracePath != "" {
 		opts.SampleEvery = *sampleIv
 	}
+	opts.Journal = *optReport != ""
 	var tracer *obs.PipeTracer
 	if *pipeview != "" {
 		tracer = obs.NewPipeTracer(*pipeviewN)
@@ -124,6 +136,16 @@ func run() int {
 	if err := writeArtifacts(res, sum, *jsonPath, *tracePath); err != nil {
 		fmt.Fprintf(os.Stderr, "sccsim: %v\n", err)
 		return 1
+	}
+	if *optReport != "" && res.OptReport != nil {
+		if err := obs.WriteOptReport(res.OptReport, *optReport); err != nil {
+			fmt.Fprintf(os.Stderr, "sccsim: %v\n", err)
+			return 1
+		}
+		if *optReport != "-" {
+			fmt.Fprintf(os.Stderr, "sccsim: wrote opt-report %s (%d lines, %d squash records)\n",
+				*optReport, res.OptReport.Lines, len(res.OptReport.Forensics))
+		}
 	}
 	if tracer != nil {
 		if err := tracer.WriteFile(*pipeview); err != nil {
@@ -157,6 +179,9 @@ func writeArtifacts(res *harness.RunResult, sum *runner.Summary, jsonPath, trace
 	if tracePath != "" {
 		tr := obs.NewTrace()
 		tr.AddSweep("sccsim "+res.Workload, 1, sum, map[int][]obs.Interval{0: res.Samples})
+		if len(res.JobSlices) > 0 && sum != nil && len(sum.Jobs) > 0 && res.Stats != nil {
+			tr.AddSCCLane(1, sum.Jobs[0], res.Stats.Cycles, res.JobSlices)
+		}
 		if err := tr.WriteFile(tracePath); err != nil {
 			return err
 		}

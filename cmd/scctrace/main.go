@@ -32,12 +32,22 @@ func run() int {
 		pipeview  = flag.String("pipeview", "", "write a per-uop pipeline lifecycle trace (gem5 O3PipeView format, opens in Konata) to this path")
 		pipeviewN = flag.Int("pipeview-limit", obs.DefaultPipeTraceLimit,
 			"retain the last N micro-ops in the -pipeview trace")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
+		optReport = flag.String("optreport", "", "write the SCC optimization report to this path (\"-\" = stdout text, .json = JSON)")
+		version   = flag.Bool("version", false, "print the simulator version and exit")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"sweep worker count for library Options plumbing (a single trace uses one)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the simulator to this path")
 		memProfile = flag.String("memprofile", "", "write a heap profile of the simulator to this path")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionString("scctrace"))
+		return 0
+	}
+	if *pipeview != "" && *pipeviewN <= 0 {
+		fmt.Fprintf(os.Stderr, "scctrace: -pipeview-limit must be positive (got %d)\n", *pipeviewN)
+		return 2
+	}
 	if *workload == "" {
 		fmt.Fprintln(os.Stderr, "scctrace: need -workload (see sccsim -list)")
 		return 2
@@ -71,6 +81,11 @@ func run() int {
 		tracer = obs.NewPipeTracer(*pipeviewN)
 		tracer.Attach(m)
 	}
+	var journal *obs.JournalAggregator
+	if *optReport != "" {
+		journal = obs.NewJournalAggregator()
+		journal.Attach(m)
+	}
 	st, err := m.Run()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scctrace:", err)
@@ -83,6 +98,17 @@ func run() int {
 		}
 		fmt.Fprintf(os.Stderr, "scctrace: wrote pipeline trace %s (%d of %d uops retained; open in Konata)\n",
 			*pipeview, tracer.Total()-tracer.Dropped(), tracer.Total())
+	}
+	if journal != nil {
+		rep := journal.Report(w.Name)
+		if err := obs.WriteOptReport(rep, *optReport); err != nil {
+			fmt.Fprintln(os.Stderr, "scctrace:", err)
+			return 1
+		}
+		if *optReport != "-" {
+			fmt.Fprintf(os.Stderr, "scctrace: wrote opt-report %s (%d lines, %d squash records)\n",
+				*optReport, rep.Lines, len(rep.Forensics))
+		}
 	}
 
 	u := m.Unit.Stats

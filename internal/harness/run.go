@@ -34,6 +34,12 @@ type RunResult struct {
 	// Samples is the interval-sampled telemetry series; nil unless
 	// Options.SampleEvery enabled sampling.
 	Samples []obs.Interval
+	// OptReport is the aggregated SCC optimization report; nil unless
+	// Options.Journal attached the journal aggregator.
+	OptReport *obs.SCCReport
+	// JobSlices holds the compaction-job spans for the trace exporter's
+	// scc-unit lane (journal runs only).
+	JobSlices []obs.SCCJobSlice
 	// FromCache marks a result rehydrated from a manifest in
 	// Options.CacheDir instead of simulated (the run never executed).
 	FromCache bool
@@ -43,7 +49,11 @@ type RunResult struct {
 // wall-clock telemetry (nondeterministic) via the Timing field afterwards
 // if wanted; everything Manifest itself fills is deterministic.
 func (r *RunResult) Manifest() *obs.Manifest {
-	return obs.NewManifest(r.Workload, r.Config, r.Stats, r.Energy, r.Mem, r.Unit, r.Samples)
+	m := obs.NewManifest(r.Workload, r.Config, r.Stats, r.Energy, r.Mem, r.Unit, r.Samples)
+	if r.OptReport != nil {
+		m.SCCReport = r.OptReport.Summary()
+	}
+	return m
 }
 
 // EnergyJ returns total energy in joules.
@@ -81,6 +91,11 @@ type Options struct {
 	// micro-ops the pipeline snapshots its stats into the run's Samples
 	// series (obs.Interval deltas). 0 (the default) disables sampling.
 	SampleEvery uint64
+	// Journal attaches the SCC journal aggregator to each run and fills
+	// RunResult.OptReport with the aggregated optimization report. The
+	// journal is a pure tap — simulation results are identical either way.
+	// Like Observe, it is not applied on a result-cache hit.
+	Journal bool
 	// Observe, when non-nil, is invoked with each run's prepared machine
 	// before simulation starts — the attach point for obs observers
 	// (PipeTracer, extra samplers). Observers must be pure taps; they may
@@ -152,6 +167,11 @@ func measure(cfg pipeline.Config, w workloads.Workload, opts Options) (*RunResul
 	if opts.Observe != nil {
 		opts.Observe(m)
 	}
+	var journal *obs.JournalAggregator
+	if opts.Journal {
+		journal = obs.NewJournalAggregator()
+		journal.Attach(m)
+	}
 	var sampler *obs.Sampler
 	if opts.SampleEvery > 0 {
 		sampler = obs.NewSampler(opts.SampleEvery)
@@ -180,6 +200,10 @@ func measure(cfg pipeline.Config, w workloads.Workload, opts Options) (*RunResul
 	}
 	if sampler != nil {
 		res.Samples = sampler.Finalize(st)
+	}
+	if journal != nil {
+		res.OptReport = journal.Report(w.Name)
+		res.JobSlices = journal.JobSlices()
 	}
 	if opts.CacheDir != "" {
 		storeCached(opts.CacheDir, res)

@@ -170,6 +170,38 @@ func DiffIndexes(base, cur *Index, th DiffThresholds) *DiffReport {
 	return rep
 }
 
+// WriteMarkdown renders the report as a GitHub-flavoured Markdown table —
+// the $GITHUB_STEP_SUMMARY format the CI workflow publishes. Every matched
+// entry is listed (regressions bolded and flagged), so the summary shows
+// improvements alongside regressions.
+func (r *DiffReport) WriteMarkdown(w io.Writer) {
+	fmt.Fprintf(w, "## sccdiff: `%s` vs `%s`\n\n", r.BaseVersion, r.NewVersion)
+	fmt.Fprintf(w, "%d matched entries, **%d regression(s)**\n\n", len(r.Entries), r.Regressions)
+	for _, k := range r.OnlyBase {
+		fmt.Fprintf(w, "- only in base: `%s`\n", k)
+	}
+	for _, k := range r.OnlyNew {
+		fmt.Fprintf(w, "- only in new: `%s`\n", k)
+	}
+	if len(r.OnlyBase)+len(r.OnlyNew) > 0 {
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "| entry | metric | base | new | delta | rel | status |")
+	fmt.Fprintln(w, "|---|---|---:|---:|---:|---:|---|")
+	for _, e := range r.Entries {
+		for _, d := range e.Deltas {
+			status := "ok"
+			if d.Regressed {
+				status = "**REGRESSED**"
+			} else if d.Delta > 0 && d.Name != "energy_j" || d.Delta < 0 && d.Name == "energy_j" {
+				status = "improved"
+			}
+			fmt.Fprintf(w, "| `%s` | %s | %.6g | %.6g | %+.4g | %+.2f%% | %s |\n",
+				e.Key, d.Name, d.Base, d.New, d.Delta, 100*d.Rel, status)
+		}
+	}
+}
+
 // Write renders the report as a human-readable table. With verbose false
 // only regressed entries (and unmatched keys) are listed; the summary
 // line always prints.

@@ -52,8 +52,8 @@ func TestDiffFlagsSyntheticRegressions(t *testing.T) {
 		entry("fig6", "xal", 1.0, 0.15, 4e-5),
 	)
 	cur := diffIndex(
-		entry("fig6", "mcf", 1.2, 0.10, 2e-5),  // IPC -20%: regression
-		entry("fig6", "lbm", 2.0, 0.12, 3e-5),  // elim -0.08 absolute: regression
+		entry("fig6", "mcf", 1.2, 0.10, 2e-5),   // IPC -20%: regression
+		entry("fig6", "lbm", 2.0, 0.12, 3e-5),   // elim -0.08 absolute: regression
 		entry("fig6", "xal", 1.0, 0.15, 4.8e-5), // energy +20%: regression
 	)
 	rep := obs.DiffIndexes(base, cur, obs.DefaultThresholds())
@@ -88,7 +88,7 @@ func TestDiffFlagsSyntheticRegressions(t *testing.T) {
 // max_uops) group — distinct sweep levels — must pair positionally.
 func TestDiffOrdinalMatching(t *testing.T) {
 	base := diffIndex(
-		entry("fig6", "mcf", 1.0, 0, 2e-5),   // level baseline
+		entry("fig6", "mcf", 1.0, 0, 2e-5),    // level baseline
 		entry("fig6", "mcf", 1.4, 0.25, 2e-5), // level full
 	)
 	cur := diffIndex(
@@ -134,5 +134,42 @@ func TestLoadIndexFileAndDir(t *testing.T) {
 	}
 	if _, err := obs.LoadIndex(filepath.Join(dir, "missing.json")); err == nil {
 		t.Error("LoadIndex on missing file should error")
+	}
+}
+
+// TestDiffWriteMarkdown: the -format markdown rendering (the CI job
+// summary) carries the verdict line, the unmatched keys, and one table
+// row per matched entry with regressions bolded.
+func TestDiffWriteMarkdown(t *testing.T) {
+	base := diffIndex(
+		entry("fig6", "mcf", 1.5, 0.10, 2e-5),
+		entry("fig6", "lbm", 2.0, 0.20, 3e-5),
+		entry("fig7", "xal", 1.0, 0.15, 4e-5),
+	)
+	cur := diffIndex(
+		entry("fig6", "mcf", 1.2, 0.10, 2e-5), // IPC -20%: regression
+		entry("fig6", "lbm", 2.1, 0.21, 2.9e-5),
+		entry("fig9", "xal", 1.0, 0.15, 4e-5),
+	)
+	rep := obs.DiffIndexes(base, cur, obs.DefaultThresholds())
+	var sb strings.Builder
+	rep.WriteMarkdown(&sb)
+	out := sb.String()
+	for _, frag := range []string{
+		"## sccdiff", "**REGRESSED**",
+		"| entry | metric |", "fig6/mcf/mu30000#0",
+		"fig7/xal/mu30000#0", // only-in-base key must be listed
+		"fig9/xal/mu30000#0", // only-in-new key must be listed
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("markdown output missing %q:\n%s", frag, out)
+		}
+	}
+	// A clean diff renders without the regression marker.
+	clean := obs.DiffIndexes(base, base, obs.DefaultThresholds())
+	sb.Reset()
+	clean.WriteMarkdown(&sb)
+	if strings.Contains(sb.String(), "REGRESSED") {
+		t.Errorf("clean diff flagged a regression:\n%s", sb.String())
 	}
 }

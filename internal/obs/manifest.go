@@ -42,6 +42,12 @@ type Manifest struct {
 	// Samples is the interval series (present when sampling was enabled).
 	Samples []Interval `json:"samples,omitempty"`
 
+	// SCCReport is the compact SCC-journal summary (present when the run
+	// collected an opt-report). Like Timing it is observational metadata:
+	// Normalize strips it so journal-on and journal-off manifests of the
+	// same run compare byte-identical.
+	SCCReport *SCCReportSummary `json:"scc_report,omitempty"`
+
 	// Timing is wall-clock metadata — deliberately nondeterministic and
 	// therefore split out so Normalize can strip it for byte comparisons.
 	Timing *Timing `json:"timing,omitempty"`
@@ -167,12 +173,14 @@ func ConfigHash(workload string, cfg pipeline.Config) string {
 	return hex.EncodeToString(sum[:])
 }
 
-// Normalize strips the nondeterministic fields (wall-clock timing, VCS
-// stamp) so two manifests of the same run compare byte-identical. It
-// returns the manifest for chaining.
+// Normalize strips the nondeterministic and observational fields (wall-
+// clock timing, VCS stamp, journal summary) so two manifests of the same
+// run compare byte-identical regardless of which observers were attached.
+// It returns the manifest for chaining.
 func (m *Manifest) Normalize() *Manifest {
 	m.Timing = nil
 	m.GitRevision = ""
+	m.SCCReport = nil
 	return m
 }
 

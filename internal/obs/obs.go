@@ -12,13 +12,16 @@
 // is stripped (Manifest.Normalize).
 package obs
 
-import "runtime/debug"
+import (
+	"fmt"
+	"runtime/debug"
+)
 
 // Version identifies the simulator release a manifest was produced by.
 // Bumping it invalidates content hashes (ConfigHash folds it in), which
 // is exactly the invalidation rule the result cache keyed on manifests
 // wants (ROADMAP: invalidate on simulator-version bump).
-const Version = "sccsim-0.3"
+const Version = "sccsim-0.4"
 
 // SchemaVersion is the manifest JSON schema revision, bumped whenever a
 // field changes meaning or is removed (additions are backwards
@@ -48,4 +51,15 @@ func gitRevision() string {
 		return ""
 	}
 	return rev + dirty
+}
+
+// VersionString renders the shared -version banner for the CLIs: the
+// simulator release, the manifest schema revision, and the VCS revision
+// stamped into the binary (or "unknown" without a stamp).
+func VersionString(tool string) string {
+	rev := gitRevision()
+	if rev == "" {
+		rev = "unknown"
+	}
+	return fmt.Sprintf("%s %s (schema %d, rev %s)", tool, Version, SchemaVersion, rev)
 }

@@ -64,6 +64,9 @@ func (t *PipeTracer) observe(u *pipeline.UopTrace) {
 // the ring has since evicted).
 func (t *PipeTracer) Total() uint64 { return t.total }
 
+// Capacity returns the ring's retention limit.
+func (t *PipeTracer) Capacity() int { return t.cap }
+
 // Dropped returns how many observed micro-ops fell out of the ring.
 func (t *PipeTracer) Dropped() uint64 { return t.total - uint64(len(t.recs)) }
 

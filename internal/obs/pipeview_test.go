@@ -214,3 +214,16 @@ func TestPipeViewWriteFile(t *testing.T) {
 		t.Fatal("written trace is empty")
 	}
 }
+
+// TestPipeViewNonPositiveCapacity: the tracer defends against a
+// non-positive retention limit by falling back to the default (the CLIs
+// additionally reject -pipeview-limit <= 0 before construction).
+func TestPipeViewNonPositiveCapacity(t *testing.T) {
+	for _, capacity := range []int{0, -1, -512} {
+		tracer := obs.NewPipeTracer(capacity)
+		if got := tracer.Capacity(); got != obs.DefaultPipeTraceLimit {
+			t.Errorf("NewPipeTracer(%d) capacity = %d, want default %d",
+				capacity, got, obs.DefaultPipeTraceLimit)
+		}
+	}
+}

@@ -124,6 +124,45 @@ func (t *Trace) addIntervals(pid int, js runner.JobStats, ivs []Interval) {
 	}
 }
 
+// sccLaneTID keeps the scc-unit lane clear of the worker thread ids.
+const sccLaneTID = 1 << 20
+
+// AddSCCLane renders a run's compaction jobs as an "scc-unit" thread lane
+// inside the sweep process, so the unit's activity appears alongside the
+// worker lanes in Perfetto. Job spans are measured in simulated cycles and
+// laid out proportionally onto the job's wall-clock extent (the same
+// scaling addIntervals uses); totalCycles is the run's final cycle count.
+func (t *Trace) AddSCCLane(pid int, js runner.JobStats, totalCycles uint64, slices []SCCJobSlice) {
+	if totalCycles == 0 || len(slices) == 0 {
+		return
+	}
+	t.events = append(t.events, traceEvent{
+		Name: "thread_name", Ph: "M", PID: pid, TID: sccLaneTID,
+		Args: map[string]any{"name": "scc-unit"},
+	})
+	ts := micros(js.Start)
+	span := micros(js.Wall)
+	scale := span / float64(totalCycles)
+	for _, s := range slices {
+		cat := "scc-job"
+		if !s.Committed {
+			cat = "scc-job,discarded"
+		}
+		t.events = append(t.events, traceEvent{
+			Name: fmt.Sprintf("job %d @ %#x", s.JobID, s.PC), Cat: cat, Ph: "X",
+			TS: ts + float64(s.Start)*scale, Dur: float64(s.Cycles) * scale,
+			PID: pid, TID: sccLaneTID,
+			Args: map[string]any{
+				"job_id":    s.JobID,
+				"pc":        fmt.Sprintf("%#x", s.PC),
+				"cycles":    s.Cycles,
+				"committed": s.Committed,
+				"abort":     s.Abort,
+			},
+		})
+	}
+}
+
 // Empty reports whether no sweep has been added.
 func (t *Trace) Empty() bool { return len(t.events) == 0 }
 

@@ -98,6 +98,9 @@ type Machine struct {
 	traceFn  func(*UopTrace)
 	traceSeq uint64
 
+	// SCC journal hook bundle (SetSCCJournal); nil = off.
+	journal *scc.Journal
+
 	// sig carries this cycle's stall signals into the CPI classifier.
 	sig cpiSig
 
@@ -165,6 +168,19 @@ func (m *Machine) SetSampleHook(every uint64, fn func(Stats)) {
 	m.sampleFn = fn
 	m.sampleEvery = every
 	m.nextSample = m.Stats.CommittedUops + every
+}
+
+// SetSCCJournal attaches the SCC journal hook bundle: the unit emits
+// request/job events, the fetch path emits per-Select verdicts, and the
+// squash path emits invariant-violation forensics. A nil journal (the
+// default) disables everything; the off path costs one nil check per
+// decision point. The journal is a pure tap — hooks never feed back into
+// the simulation.
+func (m *Machine) SetSCCJournal(j *scc.Journal) {
+	m.journal = j
+	if m.Unit != nil {
+		m.Unit.SetJournal(j)
+	}
 }
 
 // Run simulates until the program halts or cfg.MaxUops micro-ops commit.
@@ -391,14 +407,27 @@ func (m *Machine) buildStream() {
 	pc := m.nextPC
 
 	var sel uopcache.Selection
+	forced := false
 	if m.forceUnopt[pc] {
 		// Post-squash redirect: the offending stream came from the
 		// optimized partition, so fetch must source the unoptimized
 		// version this time (§V misspeculation recovery).
 		delete(m.forceUnopt, pc)
 		sel = uopcache.Selection{Line: m.UC.Unopt.Lookup(pc)}
+		forced = true
 	} else {
 		sel, m.scratch = m.UC.Select(pc, m.scratch, m.vpMatches)
+	}
+	if m.journal != nil && m.journal.Select != nil {
+		ev := scc.SelectEvent{
+			Cycle: m.cycle, PC: pc, FromOpt: sel.FromOpt, Score: sel.Score,
+			Candidates: sel.Candidates, GateTrips: sel.GateTrips,
+			ForcedUnopt: forced,
+		}
+		if sel.FromOpt {
+			ev.JobID = sel.Line.Meta.JobID
+		}
+		m.journal.Select(ev)
 	}
 
 	switch {
@@ -454,7 +483,7 @@ func (m *Machine) maybeRequestCompaction(line *uopcache.Line, pc uint64, baseCoo
 	if last, ok := m.lastReq[pc]; ok && m.cycle-last < cooldown {
 		return
 	}
-	if m.Unit.Request(pc) {
+	if m.Unit.Request(m.cycle, pc) {
 		m.lastReq[pc] = m.cycle
 		if line != nil && m.UC.Unopt.Lock(line) {
 			m.locked[pc] = line
@@ -611,6 +640,7 @@ func (m *Machine) buildFromOpt(line *uopcache.Line) {
 
 	m.Oracle.BeginUndo()
 	violated := -1 // invariant index (data first, then control)
+	var violObs emu.ExecResult
 	steps := 0
 	occ := map[uint64]int{}
 	for steps < meta.OrigUops {
@@ -633,6 +663,7 @@ func (m *Machine) buildFromOpt(line *uopcache.Line) {
 			}
 		}
 		if violated >= 0 {
+			violObs = res
 			break
 		}
 		// Check control invariants at their branches.
@@ -647,6 +678,7 @@ func (m *Machine) buildFromOpt(line *uopcache.Line) {
 				}
 			}
 			if violated >= 0 {
+				violObs = res
 				break
 			}
 		}
@@ -654,11 +686,45 @@ func (m *Machine) buildFromOpt(line *uopcache.Line) {
 
 	if violated >= 0 {
 		m.Oracle.Rollback()
+		var ev scc.SquashEvent
+		if m.journal != nil && m.journal.Squash != nil {
+			// Forensics: capture the confidence trajectory before the
+			// violation penalty mutates it.
+			ev = scc.SquashEvent{
+				Cycle: m.cycle, PC: line.EntryPC, JobID: meta.JobID,
+			}
+			if violated < len(meta.DataInv) {
+				d := &meta.DataInv[violated]
+				ev.Kind = scc.TransformDataInv
+				ev.InvIdx = violated
+				ev.SrcPC = d.PC
+				ev.ConfAtPlant = d.ConfAtPlant
+				ev.ConfAtViol = d.Conf
+				ev.Predicted = d.Value
+				ev.Observed = violObs.Value
+			} else {
+				ci := &meta.CtrlInv[violated-len(meta.DataInv)]
+				ev.Kind = scc.TransformCtrlInv
+				ev.InvIdx = violated - len(meta.DataInv)
+				ev.SrcPC = ci.PC
+				ev.ConfAtPlant = ci.ConfAtPlant
+				ev.ConfAtViol = ci.Conf
+				ev.Predicted = int64(ci.Target)
+				ev.Observed = int64(violObs.Target)
+				ev.PredictedTaken = ci.Taken
+				ev.ObservedTaken = violObs.Taken
+			}
+		}
 		meta.Penalize(violated)
 		m.Stats.InvariantViolations++
 		m.Stats.OptStreamsSquashed++
 		m.regionSquashes[line.EntryPC]++
 		m.buildDoomedStream(line, violated)
+		if m.journal != nil && m.journal.Squash != nil {
+			ev.DoomedUops = len(m.cur.entries)
+			ev.PenaltyCycles = m.Cfg.RedirectLatency
+			m.journal.Squash(ev)
+		}
 		m.forceUnopt[line.EntryPC] = true
 		m.nextPC = line.EntryPC
 		return

@@ -178,6 +178,12 @@ type Result struct {
 	// RCT access counts for the energy model.
 	RCTReads  uint64
 	RCTWrites uint64
+
+	// Remarks is the per-transform optimization remark list, collected
+	// only by CompactWithRemarks (nil otherwise). Remarks survive aborts
+	// and discards — they explain what the walk did even when nothing
+	// was committed.
+	Remarks []Remark
 }
 
 // VPKey derives the value-predictor key of a micro-op: cracked uops from
@@ -212,6 +218,11 @@ type compactor struct {
 	unconsumedBranchPC uint64
 	finishEndPC        uint64
 
+	// collect enables optimization-remark recording (journal jobs only;
+	// the plain Compact path never allocates the list).
+	collect bool
+	remarks []Remark
+
 	// identity of the previously emitted uop for fusion repair
 	lastEmitted struct {
 		pc  uint64
@@ -224,11 +235,38 @@ type compactor struct {
 // result. The walk processes one micro-op per cycle; Result.Cycles reports
 // the occupancy for the unit's busy accounting.
 func Compact(cfg Config, env Env, entryPC uint64) Result {
-	c := &compactor{cfg: cfg, env: env, keyOcc: make(map[uint64]int)}
+	return compact(cfg, env, entryPC, false)
+}
+
+// CompactWithRemarks is Compact plus per-transform optimization remarks
+// (Result.Remarks): every elimination, propagation and invariant plant is
+// recorded with its micro-op position and — for invariants — the predictor
+// confidence at planting. The transformed output is identical to Compact's;
+// only the remark list is extra (the journal's job events use this path).
+func CompactWithRemarks(cfg Config, env Env, entryPC uint64) Result {
+	return compact(cfg, env, entryPC, true)
+}
+
+func compact(cfg Config, env Env, entryPC uint64, collect bool) Result {
+	c := &compactor{cfg: cfg, env: env, keyOcc: make(map[uint64]int), collect: collect}
 	c.rct.TrackFP = cfg.EnableFPFold
 	c.walk(entryPC)
 	c.finish(entryPC)
+	c.res.Remarks = c.remarks
 	return c.res
+}
+
+// remark records one optimization remark when collection is on. invIdx is
+// the in-class invariant slot for invariant plants (-1 for eliminations);
+// conf is the planting-time predictor confidence.
+func (c *compactor) remark(kind TransformKind, u *uop.UOp, invIdx, conf int, value int64) {
+	if !c.collect {
+		return
+	}
+	c.remarks = append(c.remarks, Remark{
+		Kind: kind, UopIdx: c.cycles - 1, PC: u.MacroPC, Seq: u.SeqNum,
+		InvIdx: invIdx, Conf: conf, Value: value,
+	})
 }
 
 func (c *compactor) fits(v int64) bool { return FitsWidth(v, c.cfg.ConstWidthBits) }
@@ -308,11 +346,13 @@ func (c *compactor) probeDataInvariant(u *uop.UOp) bool {
 	}
 	c.dataInv = append(c.dataInv, uopcache.DataInvariant{
 		Key: key, PC: u.MacroPC, Value: v, Conf: conf, Occ: c.curOcc,
+		ConfAtPlant: conf, SrcKind: uint8(u.Kind),
 	})
 	u.PredSource = true
 	u.InvariantIdx = int8(len(c.dataInv) - 1)
 	c.rct.Set(u.Dst, v, false) // materialized by the retained uop
 	c.res.DataInvUsed++
+	c.remark(TransformDataInv, u, len(c.dataInv)-1, conf, v)
 	return true
 }
 
@@ -326,6 +366,7 @@ func (c *compactor) propagate(u *uop.UOp) {
 			u.Src1Imm = true
 			u.Imm1 = v
 			c.res.Propagated++
+			c.remark(TransformProp, u, -1, 0, v)
 		}
 	}
 	if u.Src2 != isa.RegNone && !u.Src2Imm && !u.Src2.IsFP() {
@@ -333,6 +374,7 @@ func (c *compactor) propagate(u *uop.UOp) {
 			u.Src2Imm = true
 			u.Imm2 = v
 			c.res.Propagated++
+			c.remark(TransformProp, u, -1, 0, v)
 		}
 	}
 }
@@ -419,6 +461,7 @@ func (c *compactor) processMacro(us []uop.UOp, regionOf uint64) (status walkStat
 			// effect, so it needs no invariant and can never be squashed.
 			if c.cfg.EnableMoveElim {
 				c.res.ElimDead++
+				c.remark(TransformDCE, &u, -1, 0, 0)
 				continue
 			}
 			c.emit(u)
@@ -433,6 +476,7 @@ func (c *compactor) processMacro(us []uop.UOp, regionOf uint64) (status walkStat
 			if c.cfg.EnableMoveElim && !u.Dst.IsFP() && c.fits(u.Imm) {
 				c.rct.Set(u.Dst, u.Imm, true)
 				c.res.ElimMove++
+				c.remark(TransformMoveElim, &u, -1, 0, u.Imm)
 				continue
 			}
 			if !u.Dst.IsFP() {
@@ -449,6 +493,7 @@ func (c *compactor) processMacro(us []uop.UOp, regionOf uint64) (status walkStat
 				if c.cfg.EnableMoveElim && c.fits(v) {
 					c.rct.Set(u.Dst, v, true)
 					c.res.ElimMove++
+					c.remark(TransformMoveElim, &u, -1, 0, v)
 					continue
 				}
 				c.rct.Set(u.Dst, v, false)
@@ -466,6 +511,7 @@ func (c *compactor) processMacro(us []uop.UOp, regionOf uint64) (status walkStat
 					// Speculative constant folding: the micro-op is dead.
 					c.rct.Set(u.Dst, v, true)
 					c.res.ElimFold++
+					c.remark(TransformFold, &u, -1, 0, v)
 					continue
 				}
 			}
@@ -515,6 +561,7 @@ func (c *compactor) processMacro(us []uop.UOp, regionOf uint64) (status walkStat
 					if v, evalOK := EvalFrontEndFP(u.Fn, v1, v2); evalOK && c.fits(v) {
 						c.rct.Set(u.Dst, v, true)
 						c.res.ElimFold++
+						c.remark(TransformFold, &u, -1, 0, v)
 						continue
 					}
 				}
@@ -561,6 +608,7 @@ func (c *compactor) processMacro(us []uop.UOp, regionOf uint64) (status walkStat
 				// Speculative branch folding: direction deducible.
 				taken := isa.CondHolds(u.Cond, cc)
 				c.res.ElimBranch++
+				c.remark(TransformBranchFold, &u, -1, 0, int64(u.Target))
 				if taken {
 					return wsPivot, u.Target, i + 1
 				}
@@ -578,9 +626,11 @@ func (c *compactor) processMacro(us []uop.UOp, regionOf uint64) (status walkStat
 					u.InvariantIdx = int8(c.cfg.MaxDataInv + len(c.ctrlInv))
 					c.ctrlInv = append(c.ctrlInv, uopcache.CtrlInvariant{
 						PC: u.MacroPC, Taken: taken, Target: tgt,
-						Conf: min(conf, uopcache.ConfMax),
+						Conf:        min(conf, uopcache.ConfMax),
+						ConfAtPlant: min(conf, uopcache.ConfMax),
 					})
 					c.res.CtrlInvUsed++
+					c.remark(TransformCtrlInv, &u, len(c.ctrlInv)-1, min(conf, uopcache.ConfMax), int64(tgt))
 					c.emit(u)
 					if taken {
 						return wsPivot, tgt, i + 1
@@ -604,6 +654,7 @@ func (c *compactor) processMacro(us []uop.UOp, regionOf uint64) (status walkStat
 			if c.cfg.EnableBranchFold {
 				// Direct jumps always fold.
 				c.res.ElimBranch++
+				c.remark(TransformBranchFold, &u, -1, 0, int64(u.Target))
 				return wsPivot, u.Target, i + 1
 			}
 			c.emit(u)
@@ -617,6 +668,7 @@ func (c *compactor) processMacro(us []uop.UOp, regionOf uint64) (status walkStat
 			}
 			if v, ok := c.srcVal(&u, 1); ok && c.cfg.EnableBranchFold {
 				c.res.ElimBranch++
+				c.remark(TransformBranchFold, &u, -1, 0, v)
 				return wsPivot, uint64(v), i + 1
 			}
 			if c.cfg.EnableControlInv && len(c.ctrlInv) < c.cfg.MaxCtrlInv && c.env.ProbeBranch != nil {
@@ -627,9 +679,11 @@ func (c *compactor) processMacro(us []uop.UOp, regionOf uint64) (status walkStat
 					u.InvariantIdx = int8(c.cfg.MaxDataInv + len(c.ctrlInv))
 					c.ctrlInv = append(c.ctrlInv, uopcache.CtrlInvariant{
 						PC: u.MacroPC, Taken: true, Target: tgt,
-						Conf: min(conf, uopcache.ConfMax),
+						Conf:        min(conf, uopcache.ConfMax),
+						ConfAtPlant: min(conf, uopcache.ConfMax),
 					})
 					c.res.CtrlInvUsed++
+					c.remark(TransformCtrlInv, &u, len(c.ctrlInv)-1, min(conf, uopcache.ConfMax), int64(tgt))
 					c.emit(u)
 					return wsPivot, tgt, i + 1
 				}

@@ -1,0 +1,185 @@
+package scc
+
+// The SCC optimization journal: a structured, opt-in event stream covering
+// the unit's full decision lifecycle — compaction requests, job outcomes
+// with per-transform remarks, fetch-time streaming verdicts, and invariant-
+// violation squash forensics. It is the compiler-style "-Rpass / -fopt-report"
+// layer for the speculative transformations: aggregate counters say *how
+// much* was eliminated, the journal says *which line, which transform,
+// which invariant, and why*.
+//
+// Like the per-uop lifecycle tracer (pipeline.SetUopTraceHook), the journal
+// is a pure tap: a nil Journal (the default) costs one nil check per
+// decision point and allocates nothing; hooks never feed back into the
+// simulation, so results are byte-identical with journaling on or off.
+
+// TransformKind names one speculative transformation applied during a
+// compaction walk — the remark vocabulary of the optimization report.
+type TransformKind int
+
+// The transform ladder, in remark-report order.
+const (
+	TransformMoveElim   TransformKind = iota // register-immediate move eliminated
+	TransformFold                            // micro-op removed by constant folding
+	TransformProp                            // register source rewritten to immediate
+	TransformBranchFold                      // branch/jump folded away
+	TransformDCE                             // dead micro-op (nop) removed outright
+	TransformDataInv                         // data invariant planted (prediction source)
+	TransformCtrlInv                         // control invariant planted (branch retained)
+	numTransformKinds
+)
+
+// NumTransformKinds is the size of the remark vocabulary (report arrays).
+const NumTransformKinds = int(numTransformKinds)
+
+// String names the transform for report rendering.
+func (k TransformKind) String() string {
+	switch k {
+	case TransformMoveElim:
+		return "move-elim"
+	case TransformFold:
+		return "fold"
+	case TransformProp:
+		return "prop"
+	case TransformBranchFold:
+		return "branch-fold"
+	case TransformDCE:
+		return "dce"
+	case TransformDataInv:
+		return "data-inv"
+	case TransformCtrlInv:
+		return "ctrl-inv"
+	}
+	return "?"
+}
+
+// Remark is one per-micro-op optimization remark from a compaction walk:
+// what transform fired, on which micro-op, and — for invariant plants —
+// which invariant slot it filled and the predictor confidence at planting
+// time. Remarks are only collected when a journal with a Job hook is
+// attached (Result.Remarks stays nil otherwise).
+type Remark struct {
+	Kind TransformKind `json:"kind"`
+	// UopIdx is the dynamic index of the micro-op within the original
+	// walk (the unit processes one micro-op per cycle, so this is also
+	// the job-relative cycle the remark fired on).
+	UopIdx int    `json:"uop_idx"`
+	PC     uint64 `json:"pc"`  // macro PC of the transformed micro-op
+	Seq    uint8  `json:"seq"` // micro-op index within its macro-op
+	// InvIdx is the in-class invariant slot planted by TransformDataInv /
+	// TransformCtrlInv remarks; -1 for pure eliminations.
+	InvIdx int `json:"inv_idx"`
+	// Conf is the predictor confidence observed at planting time
+	// (invariant remarks only).
+	Conf int `json:"conf"`
+	// Value is the folded/eliminated/predicted value, or the predicted
+	// branch target for control invariants.
+	Value int64 `json:"value"`
+}
+
+// RequestOutcome classifies one Unit.Request call.
+type RequestOutcome int
+
+// Request outcomes.
+const (
+	ReqAccepted RequestOutcome = iota
+	ReqRejectedQueueFull
+	ReqRejectedDuplicate
+	ReqRejectedDisabled
+)
+
+// String names the outcome.
+func (o RequestOutcome) String() string {
+	switch o {
+	case ReqAccepted:
+		return "accepted"
+	case ReqRejectedQueueFull:
+		return "queue-full"
+	case ReqRejectedDuplicate:
+		return "duplicate"
+	case ReqRejectedDisabled:
+		return "disabled"
+	}
+	return "?"
+}
+
+// RequestEvent reports one compaction request's fate at the queue.
+type RequestEvent struct {
+	Cycle    uint64
+	PC       uint64
+	Outcome  RequestOutcome
+	QueueLen int // queue occupancy after the call
+}
+
+// JobEvent reports one completed compaction job: the outcome, its cycle
+// cost, and the per-transform remark list (invariant plants carry the
+// confidence observed at planting).
+type JobEvent struct {
+	Cycle     uint64 // completion cycle
+	JobID     uint64 // monotone per-unit job id (also stamped on the line)
+	PC        uint64 // entry PC of the compacted region
+	Cycles    int    // unit busy cycles (one micro-op per walk step)
+	Committed bool
+	Abort     AbortReason // AbortNone when committed
+	OrigSlots int
+	OutSlots  int
+	OrigUops  int
+	DataInv   int // data invariants planted
+	CtrlInv   int // control invariants planted
+	Remarks   []Remark
+}
+
+// SelectEvent reports one fetch-time streaming verdict (§V profitability
+// analysis): which partition won, at what score, and whether the squash
+// gate phased candidates out.
+type SelectEvent struct {
+	Cycle      uint64
+	PC         uint64
+	FromOpt    bool
+	Score      int    // profitability score of the winner (FromOpt only)
+	JobID      uint64 // planting job of the chosen line (FromOpt only)
+	Candidates int    // optimized versions considered
+	GateTrips  int    // candidates skipped by the squash gate
+	// ForcedUnopt marks the post-squash recovery fetch that must source
+	// the unoptimized version (§V misspeculation recovery).
+	ForcedUnopt bool
+}
+
+// SquashEvent is the forensic record of one invariant-violation squash:
+// the violated invariant attributed back to the exact job and transform
+// that planted it, confidence at planting vs. the value observed at
+// violation time, and the squash's cycle cost.
+type SquashEvent struct {
+	Cycle  uint64
+	PC     uint64        // entry PC of the violated line
+	JobID  uint64        // job that planted the invariant
+	Kind   TransformKind // TransformDataInv or TransformCtrlInv
+	InvIdx int           // in-class invariant index
+	SrcPC  uint64        // macro PC of the prediction source
+	// Confidence trajectory: at planting time vs. just before the
+	// violation penalty was applied.
+	ConfAtPlant int
+	ConfAtViol  int
+	// Data invariants: predicted vs. observed value. Control invariants:
+	// predicted vs. observed target, plus the taken bits.
+	Predicted      int64
+	Observed       int64
+	PredictedTaken bool
+	ObservedTaken  bool
+	// Cost: wrong-path micro-ops drained for timing plus the fetch
+	// redirect penalty — the per-squash share of SquashedUops and
+	// SquashCycles.
+	DoomedUops    int
+	PenaltyCycles int
+}
+
+// Journal is the SCC journal hook bundle. Each hook may be nil (off);
+// attaching a Journal with nil hooks costs only the nil checks. Hooks are
+// invoked synchronously from the simulation loop and must not retain the
+// event beyond the call unless they copy it.
+type Journal struct {
+	Request func(RequestEvent)
+	Job     func(JobEvent)
+	Select  func(SelectEvent)
+	Squash  func(SquashEvent)
+}

@@ -735,14 +735,14 @@ func unitEnv(t *testing.T) (Env, *asm.Program) {
 func TestUnitRequestQueue(t *testing.T) {
 	env, p := unitEnv(t)
 	u := NewUnit(DefaultConfig(), env)
-	if !u.Request(p.Labels["start"]) {
+	if !u.Request(0, p.Labels["start"]) {
 		t.Fatal("request rejected")
 	}
-	if u.Request(p.Labels["start"]) {
+	if u.Request(0, p.Labels["start"]) {
 		t.Error("duplicate request must be rejected")
 	}
 	for i := 0; i < 10; i++ {
-		u.Request(uint64(0x8000 + i*32))
+		u.Request(0, uint64(0x8000+i*32))
 	}
 	if u.QueueLen() > DefaultConfig().RequestQueueDepth {
 		t.Errorf("queue grew to %d, depth %d", u.QueueLen(), DefaultConfig().RequestQueueDepth)
@@ -755,7 +755,7 @@ func TestUnitRequestQueue(t *testing.T) {
 func TestUnitBusyTiming(t *testing.T) {
 	env, p := unitEnv(t)
 	u := NewUnit(DefaultConfig(), env)
-	u.Request(p.Labels["start"]) // 4 uops -> 4 cycles
+	u.Request(0, p.Labels["start"]) // 4 uops -> 4 cycles
 	now := uint64(10)
 	if _, ok := u.Tick(now); ok {
 		t.Error("job cannot complete on dispatch cycle")
@@ -780,11 +780,138 @@ func TestUnitBusyTiming(t *testing.T) {
 func TestUnitDisabledRejectsRequests(t *testing.T) {
 	env, p := unitEnv(t)
 	u := NewUnit(ConfigForLevel(LevelPartitioned), env)
-	if u.Request(p.Labels["start"]) {
+	if u.Request(0, p.Labels["start"]) {
 		t.Error("disabled unit must reject requests")
 	}
 	if u.Enabled() {
 		t.Error("partitioned level is not enabled")
+	}
+	if u.Stats.RejectedDisabled != 1 {
+		t.Errorf("RejectedDisabled = %d, want 1", u.Stats.RejectedDisabled)
+	}
+	if u.Stats.Rejected != 0 || u.Stats.Requests != 0 {
+		t.Errorf("disabled rejection leaked into Rejected=%d/Requests=%d",
+			u.Stats.Rejected, u.Stats.Requests)
+	}
+}
+
+// TestUnitJournalRequestOutcomes: the journal distinguishes every Request
+// verdict — accepted, duplicate, queue overflow, and unit disabled — and
+// reports the queue depth at each.
+func TestUnitJournalRequestOutcomes(t *testing.T) {
+	env, p := unitEnv(t)
+	u := NewUnit(DefaultConfig(), env)
+	var events []RequestEvent
+	u.SetJournal(&Journal{Request: func(ev RequestEvent) { events = append(events, ev) }})
+
+	u.Request(7, p.Labels["start"]) // accepted
+	u.Request(8, p.Labels["start"]) // duplicate
+	for i := 0; i <= DefaultConfig().RequestQueueDepth; i++ {
+		u.Request(9, uint64(0x8000+i*32)) // last one overflows
+	}
+	want := map[RequestOutcome]bool{
+		ReqAccepted: true, ReqRejectedDuplicate: true, ReqRejectedQueueFull: true,
+	}
+	got := map[RequestOutcome]bool{}
+	for _, ev := range events {
+		got[ev.Outcome] = true
+		if ev.QueueLen > DefaultConfig().RequestQueueDepth {
+			t.Errorf("event reports queue depth %d beyond the configured %d",
+				ev.QueueLen, DefaultConfig().RequestQueueDepth)
+		}
+	}
+	for o := range want {
+		if !got[o] {
+			t.Errorf("no journal event with outcome %v", o)
+		}
+	}
+	if events[0].Cycle != 7 || events[0].PC != p.Labels["start"] || events[0].Outcome != ReqAccepted {
+		t.Errorf("first event = %+v", events[0])
+	}
+
+	disabled := NewUnit(ConfigForLevel(LevelPartitioned), env)
+	var dis []RequestEvent
+	disabled.SetJournal(&Journal{Request: func(ev RequestEvent) { dis = append(dis, ev) }})
+	disabled.Request(0, p.Labels["start"])
+	if len(dis) != 1 || dis[0].Outcome != ReqRejectedDisabled {
+		t.Errorf("disabled unit events = %+v", dis)
+	}
+}
+
+// TestUnitJournalJobEvent: a completed job's event carries the planting
+// job id, cycle cost, outcome, and the per-transform remark list; the
+// committed line is stamped with the same id.
+func TestUnitJournalJobEvent(t *testing.T) {
+	env, p := unitEnv(t)
+	u := NewUnit(DefaultConfig(), env)
+	var jobs []JobEvent
+	u.SetJournal(&Journal{Job: func(ev JobEvent) { jobs = append(jobs, ev) }})
+
+	u.Request(0, p.Labels["start"])
+	var res Result
+	ok := false
+	for c := uint64(0); c < 100 && !ok; c++ {
+		res, ok = u.Tick(c)
+	}
+	if !ok {
+		t.Fatal("job never completed")
+	}
+	if len(jobs) != 1 {
+		t.Fatalf("got %d job events", len(jobs))
+	}
+	ev := jobs[0]
+	if ev.JobID != 1 {
+		t.Errorf("first job id = %d, want 1", ev.JobID)
+	}
+	if ev.PC != p.Labels["start"] || ev.Cycles != res.Cycles {
+		t.Errorf("event = %+v, result cycles %d", ev, res.Cycles)
+	}
+	if ev.Committed != (res.Line != nil) {
+		t.Errorf("event committed %v, result line %v", ev.Committed, res.Line != nil)
+	}
+	if res.Line != nil && res.Line.Meta.JobID != ev.JobID {
+		t.Errorf("line stamped with job %d, event says %d", res.Line.Meta.JobID, ev.JobID)
+	}
+	if len(ev.Remarks) == 0 {
+		t.Fatal("journaled job carries no remarks")
+	}
+	elims := res.ElimMove + res.ElimFold + res.ElimBranch + res.ElimDead +
+		res.Propagated + res.DataInvUsed + res.CtrlInvUsed
+	if len(ev.Remarks) != elims {
+		t.Errorf("%d remarks, result counted %d transforms", len(ev.Remarks), elims)
+	}
+	for i, r := range ev.Remarks {
+		if r.UopIdx < 0 {
+			t.Errorf("remark %d has no uop index: %+v", i, r)
+		}
+		if int(r.Kind) >= NumTransformKinds {
+			t.Errorf("remark %d kind out of range: %+v", i, r)
+		}
+		if (r.Kind == TransformDataInv || r.Kind == TransformCtrlInv) && r.Conf <= 0 {
+			t.Errorf("invariant remark %d lost its planting confidence: %+v", i, r)
+		}
+	}
+}
+
+// TestCompactRemarksPureTap: remark collection must not change the
+// compaction result — Compact and CompactWithRemarks agree on everything
+// but the remark list, and plain Compact allocates none.
+func TestCompactRemarksPureTap(t *testing.T) {
+	env, p := unitEnv(t)
+	plain := Compact(DefaultConfig(), env, p.Labels["start"])
+	remarked := CompactWithRemarks(DefaultConfig(), env, p.Labels["start"])
+	if plain.Remarks != nil {
+		t.Errorf("plain Compact collected %d remarks", len(plain.Remarks))
+	}
+	if len(remarked.Remarks) == 0 {
+		t.Error("CompactWithRemarks collected nothing")
+	}
+	remarked.Remarks = nil
+	if plain.Cycles != remarked.Cycles || plain.ElimMove != remarked.ElimMove ||
+		plain.ElimFold != remarked.ElimFold || plain.Propagated != remarked.Propagated ||
+		plain.OutSlots != remarked.OutSlots || plain.Abort != remarked.Abort {
+		t.Errorf("remark collection changed the result:\nplain    %+v\nremarked %+v",
+			plain, remarked)
 	}
 }
 

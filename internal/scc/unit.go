@@ -4,20 +4,21 @@ import "sccsim/internal/uopcache"
 
 // UnitStats aggregates the unit's lifetime activity.
 type UnitStats struct {
-	Requests       uint64 // compaction requests accepted into the queue
-	Rejected       uint64 // requests dropped (queue full or duplicate)
-	Jobs           uint64 // compaction jobs completed
-	Committed      uint64 // compacted lines committed to the optimized partition
-	Discarded      uint64 // write buffers discarded (below compaction threshold)
-	Aborted        uint64 // aborts (self-loop, self-modifying code)
-	BusyCycles     uint64 // cycles the unit spent processing micro-ops
-	ElimMove       uint64
-	ElimFold       uint64
-	ElimBranch     uint64
-	ElimDead       uint64
-	Propagated     uint64
-	DataInvariants uint64
-	CtrlInvariants uint64
+	Requests         uint64 // compaction requests accepted into the queue
+	Rejected         uint64 // requests dropped (queue full or duplicate)
+	RejectedDisabled uint64 // requests dropped because the unit is disabled
+	Jobs             uint64 // compaction jobs completed
+	Committed        uint64 // compacted lines committed to the optimized partition
+	Discarded        uint64 // write buffers discarded (below compaction threshold)
+	Aborted          uint64 // aborts (self-loop, self-modifying code)
+	BusyCycles       uint64 // cycles the unit spent processing micro-ops
+	ElimMove         uint64
+	ElimFold         uint64
+	ElimBranch       uint64
+	ElimDead         uint64
+	Propagated       uint64
+	DataInvariants   uint64
+	CtrlInvariants   uint64
 }
 
 // Unit is the speculative code compaction unit: the request queue plus the
@@ -32,7 +33,17 @@ type Unit struct {
 	busyUntil uint64
 	pending   Result
 	pendingOK bool
+
+	journal   *Journal
+	jobSeq    uint64 // monotone job id; next dispatch mints jobSeq+1
+	pendingID uint64 // job id of the in-flight job
+	pendingPC uint64 // entry PC of the in-flight job
 }
+
+// SetJournal attaches (or detaches, with nil) the SCC journal. The journal
+// is a pure tap: it observes requests and job outcomes but never alters
+// them.
+func (u *Unit) SetJournal(j *Journal) { u.journal = j }
 
 // NewUnit builds the unit.
 func NewUnit(cfg Config, env Env) *Unit {
@@ -45,21 +56,39 @@ func (u *Unit) Enabled() bool {
 		u.Cfg.EnableBranchFold || u.Cfg.EnableControlInv
 }
 
-// Request enqueues a compaction request for the hot line entered at pc.
-// It reports whether the request was accepted (§III: the request queue is
-// sized by the fetch width; duplicates and overflow are dropped).
-func (u *Unit) Request(pc uint64) bool {
+// Request enqueues a compaction request for the hot line entered at pc at
+// cycle now. It reports whether the request was accepted (§III: the request
+// queue is sized by the fetch width; duplicates and overflow are dropped).
+func (u *Unit) Request(now, pc uint64) bool {
 	if !u.Enabled() {
+		u.Stats.RejectedDisabled++
+		u.journalRequest(now, pc, ReqRejectedDisabled)
 		return false
 	}
-	if u.inQueue[pc] || len(u.queue) >= u.Cfg.RequestQueueDepth {
+	if u.inQueue[pc] {
 		u.Stats.Rejected++
+		u.journalRequest(now, pc, ReqRejectedDuplicate)
+		return false
+	}
+	if len(u.queue) >= u.Cfg.RequestQueueDepth {
+		u.Stats.Rejected++
+		u.journalRequest(now, pc, ReqRejectedQueueFull)
 		return false
 	}
 	u.queue = append(u.queue, pc)
 	u.inQueue[pc] = true
 	u.Stats.Requests++
+	u.journalRequest(now, pc, ReqAccepted)
 	return true
+}
+
+func (u *Unit) journalRequest(now, pc uint64, outcome RequestOutcome) {
+	if u.journal == nil || u.journal.Request == nil {
+		return
+	}
+	u.journal.Request(RequestEvent{
+		Cycle: now, PC: pc, Outcome: outcome, QueueLen: len(u.queue),
+	})
 }
 
 // QueueLen returns the number of waiting requests.
@@ -96,6 +125,21 @@ func (u *Unit) Tick(now uint64) (Result, bool) {
 		default:
 			u.Stats.Aborted++
 		}
+		if res.Line != nil {
+			// Stamp the planting job on the line so downstream Select and
+			// squash events attribute back to this job.
+			res.Line.Meta.JobID = u.pendingID
+		}
+		if u.journal != nil && u.journal.Job != nil {
+			u.journal.Job(JobEvent{
+				Cycle: now, JobID: u.pendingID, PC: u.pendingPC,
+				Cycles: res.Cycles, Committed: res.Line != nil, Abort: res.Abort,
+				OrigSlots: res.OrigSlots, OutSlots: res.OutSlots,
+				OrigUops: res.OrigUops,
+				DataInv:  res.DataInvUsed, CtrlInv: res.CtrlInvUsed,
+				Remarks: res.Remarks,
+			})
+		}
 		return res, true
 	}
 	if len(u.queue) == 0 {
@@ -106,8 +150,15 @@ func (u *Unit) Tick(now uint64) (Result, bool) {
 	pc := u.queue[0]
 	u.queue = u.queue[1:]
 	delete(u.inQueue, pc)
-	u.pending = Compact(u.Cfg, u.Env, pc)
+	if u.journal != nil && u.journal.Job != nil {
+		u.pending = CompactWithRemarks(u.Cfg, u.Env, pc)
+	} else {
+		u.pending = Compact(u.Cfg, u.Env, pc)
+	}
 	u.pendingOK = true
+	u.jobSeq++
+	u.pendingID = u.jobSeq
+	u.pendingPC = pc
 	cyc := u.pending.Cycles
 	if cyc < 1 {
 		cyc = 1

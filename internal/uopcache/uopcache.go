@@ -43,6 +43,13 @@ type DataInvariant struct {
 	// static micro-op, and each visit validates against its own
 	// invariant.
 	Occ int
+	// ConfAtPlant is the predictor confidence observed when the invariant
+	// was planted, frozen for squash forensics (Conf itself moves with
+	// Reward/Penalize).
+	ConfAtPlant int
+	// SrcKind is the uop.Kind code of the prediction-source micro-op
+	// (load vs ALU vs FP — which instruction class the invariant covers).
+	SrcKind uint8
 }
 
 // CtrlInvariant records one speculatively identified control invariant:
@@ -52,6 +59,9 @@ type CtrlInvariant struct {
 	Taken  bool
 	Target uint64
 	Conf   int
+	// ConfAtPlant freezes the branch-predictor confidence observed at
+	// planting time (squash forensics; Conf moves with Reward/Penalize).
+	ConfAtPlant int
 }
 
 // LiveOut is a register value produced by an eliminated micro-op that must
@@ -89,6 +99,11 @@ type CompactMeta struct {
 	Squashes uint64
 	// Streams counts times this line was selected for streaming.
 	Streams uint64
+	// JobID identifies the compaction job that minted this line (stamped
+	// by the SCC unit) — the attribution key the optimization journal
+	// uses to tie streaming verdicts and squashes back to the planting
+	// job's remarks.
+	JobID uint64
 }
 
 // Shrinkage returns the compaction potential in fused slots.
@@ -530,6 +545,11 @@ type Selection struct {
 	// Score is the profitability score of the chosen optimized line
 	// (sum of invariant confidences + shrinkage, §III).
 	Score int
+	// Candidates counts the optimized versions considered for this fetch;
+	// GateTrips counts those the squash gate phased out (§V). Both are
+	// journal/diagnostic outputs and never feed back into the decision.
+	Candidates int
+	GateTrips  int
 }
 
 // Select implements the profitability analysis unit (§V): both partitions
@@ -551,11 +571,13 @@ func (u *UopCache) Select(pc uint64, scratch []*Line, vpMatches func(DataInvaria
 
 	var best *Line
 	bestScore := -1
+	candidates, gateTrips := 0, 0
 	for _, cand := range scratch {
 		m := cand.Meta
 		if m == nil {
 			continue
 		}
+		candidates++
 		if m.MinConf() < u.Cfg.StreamConfThreshold {
 			continue
 		}
@@ -567,6 +589,7 @@ func (u *UopCache) Select(pc uint64, scratch []*Line, vpMatches func(DataInvaria
 		}
 		if u.Cfg.SquashGate > 0 && m.Squashes >= 2 &&
 			m.Squashes*uint64(u.Cfg.SquashGate) > m.Streams {
+			gateTrips++
 			continue // misprediction rate crossed the phase-out threshold
 		}
 		if vpMatches != nil {
@@ -589,7 +612,8 @@ func (u *UopCache) Select(pc uint64, scratch []*Line, vpMatches func(DataInvaria
 	}
 	if best != nil {
 		best.Meta.Streams++
-		return Selection{Line: best, FromOpt: true, Score: bestScore}, scratch
+		return Selection{Line: best, FromOpt: true, Score: bestScore,
+			Candidates: candidates, GateTrips: gateTrips}, scratch
 	}
-	return Selection{Line: unopt}, scratch
+	return Selection{Line: unopt, Candidates: candidates, GateTrips: gateTrips}, scratch
 }

@@ -368,3 +368,110 @@ func TestRemove(t *testing.T) {
 		t.Error("double remove should fail")
 	}
 }
+
+// --- SquashGate boundary tests (§V stream phase-out) ---
+
+// gateLine builds a hot, confident, profitable optimized line with the
+// given squash/stream history, inserted over a plain unoptimized line, so
+// only the squash gate can keep it from streaming.
+func gateLine(u *UopCache, squashes, streams uint64) *Line {
+	u.Unopt.Insert(NewLine(0x1000, mkUops(10, 0x1000), nil))
+	l := optLine(0x1000, 5, 10, 12)
+	l.Hot = 5
+	l.Meta.Squashes = squashes
+	l.Meta.Streams = streams
+	u.Opt.Insert(l)
+	return l
+}
+
+func TestSquashGateEquality(t *testing.T) {
+	// The gate is a strict inequality: squashes*gate == streams sits
+	// exactly at the tolerated violation rate of 1/gate and still streams.
+	cfg := selectCfg() // SquashGate = 20
+	u := New(cfg)
+	gateLine(u, 3, 3*uint64(cfg.SquashGate))
+	sel, _ := u.Select(0x1000, nil, nil)
+	if !sel.FromOpt {
+		t.Fatalf("line at exactly rate 1/gate must stream: %+v", sel)
+	}
+	if sel.GateTrips != 0 {
+		t.Errorf("equality counted %d gate trips", sel.GateTrips)
+	}
+}
+
+func TestSquashGateOffByOne(t *testing.T) {
+	// One stream fewer and the rate crosses 1/gate: phased out.
+	cfg := selectCfg()
+	u := New(cfg)
+	gateLine(u, 3, 3*uint64(cfg.SquashGate)-1)
+	sel, _ := u.Select(0x1000, nil, nil)
+	if sel.FromOpt {
+		t.Fatalf("line past rate 1/gate must be phased out: %+v", sel)
+	}
+	if sel.Line == nil {
+		t.Fatal("gated fetch must fall back to the unoptimized line")
+	}
+	if sel.GateTrips != 1 || sel.Candidates != 1 {
+		t.Errorf("gate trips %d candidates %d, want 1/1", sel.GateTrips, sel.Candidates)
+	}
+}
+
+func TestSquashGateSingleSquashFloor(t *testing.T) {
+	// One squash never gates, no matter how bad the ratio — the floor of
+	// two squashes keeps a single cold-start violation from killing a line.
+	u := New(selectCfg())
+	gateLine(u, 1, 0)
+	sel, _ := u.Select(0x1000, nil, nil)
+	if !sel.FromOpt {
+		t.Fatalf("single squash must not gate: %+v", sel)
+	}
+	if sel.GateTrips != 0 {
+		t.Errorf("single squash counted %d gate trips", sel.GateTrips)
+	}
+}
+
+func TestSquashGateTwoSquashesGate(t *testing.T) {
+	// At the floor: two squashes against zero validated streams gates.
+	u := New(selectCfg())
+	gateLine(u, 2, 0)
+	sel, _ := u.Select(0x1000, nil, nil)
+	if sel.FromOpt {
+		t.Fatalf("two squashes with no streams must gate: %+v", sel)
+	}
+	if sel.GateTrips != 1 {
+		t.Errorf("gate trips = %d, want 1", sel.GateTrips)
+	}
+}
+
+func TestSquashGateDisabledAblation(t *testing.T) {
+	// SquashGate = 0 is the profitability-analysis ablation: even a
+	// pathological line keeps streaming and nothing counts as a trip.
+	cfg := selectCfg()
+	cfg.SquashGate = 0
+	u := New(cfg)
+	gateLine(u, 1000, 0)
+	sel, _ := u.Select(0x1000, nil, nil)
+	if !sel.FromOpt {
+		t.Fatalf("ablated gate must not phase out: %+v", sel)
+	}
+	if sel.GateTrips != 0 {
+		t.Errorf("ablated gate counted %d trips", sel.GateTrips)
+	}
+}
+
+func TestSelectCountsCandidates(t *testing.T) {
+	// Candidates counts every optimized version considered, selected or
+	// not — the journal's Select verdict surfaces both.
+	u := New(selectCfg())
+	u.Unopt.Insert(NewLine(0x1000, mkUops(10, 0x1000), nil))
+	weak := optLine(0x1000, 5, 10, 2) // below the confidence threshold
+	weak.Hot = 5
+	u.Opt.Insert(weak)
+	sel, _ := u.Select(0x1000, nil, nil)
+	if sel.FromOpt {
+		t.Fatalf("weak line streamed: %+v", sel)
+	}
+	if sel.Candidates != 1 || sel.GateTrips != 0 {
+		t.Errorf("candidates %d trips %d, want 1/0", sel.Candidates, sel.GateTrips)
+	}
+}
