@@ -254,6 +254,66 @@ func BenchmarkSimSCCXalancbmk(b *testing.B)      { benchWorkload(b, "xalancbmk",
 func BenchmarkSimSCCMcf(b *testing.B)            { benchWorkload(b, "mcf", SCCConfig(LevelFull)) }
 func BenchmarkSimSCCLbm(b *testing.B)            { benchWorkload(b, "lbm", SCCConfig(LevelFull)) }
 
+// BenchmarkMachineRun is the single-run hot-path headline: one machine,
+// one workload, simulated uops/sec as the custom metric — the number the
+// throughput-overhaul work optimizes. Baseline and full SCC sub-benches
+// cover both fetch paths (decode/unopt vs the compacted-stream dry-run
+// machinery).
+func BenchmarkMachineRun(b *testing.B) {
+	w, ok := workloads.ByName("xalancbmk")
+	if !ok {
+		b.Fatal("unknown workload")
+	}
+	for _, cfg := range []struct {
+		name string
+		cfg  pipeline.Config
+	}{
+		{"baseline", BaselineConfig()},
+		{"scc-full", SCCConfig(LevelFull)},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			opts := Options{MaxUops: 25_000}
+			var res *RunResult
+			var err error
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err = Run(cfg.cfg, w, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Stats.CommittedUops)*float64(b.N)/b.Elapsed().Seconds(), "uops/sec")
+		})
+	}
+}
+
+// BenchmarkShardedSimPoint measures the sharded SimPoint estimator's wall
+// scaling: the same representative set measured with functional
+// fast-forward shards at 1 and 4 workers. The per-op time ratio between
+// the sub-benches is the wall speedup the sharding buys.
+func BenchmarkShardedSimPoint(b *testing.B) {
+	w, ok := workloads.ByName("xalancbmk")
+	if !ok {
+		b.Fatal("unknown workload")
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(name("workers", workers), func(b *testing.B) {
+			opts := Options{MaxUops: 200_000, Parallel: workers}
+			var r *harness.SimPointResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				r, err = harness.SimPointEstimateSharded(
+					SCCConfig(LevelFull), w, 25_000, 6, harness.WarmupFunctional, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.WeightedIPC, "weighted-ipc")
+			b.ReportMetric(float64(len(r.Points)), "shards")
+		})
+	}
+}
+
 // --- ablations (design choices DESIGN.md calls out) ---
 
 // BenchmarkAblationHotnessDecay sweeps the optimized-partition hotness

@@ -42,7 +42,7 @@ func main() { os.Exit(run()) }
 func run() int {
 	var (
 		experiment = flag.String("experiment", "all",
-			"table1 | fig6 | fig7 | fig8 | fig9 | fig10 | fig11 | overhead | ext | all, or a comma-separated list")
+			"table1 | fig6 | fig7 | fig8 | fig9 | fig10 | fig11 | overhead | ext | simpoint-sharded | all, or a comma-separated list (all excludes simpoint-sharded)")
 		maxUops  = flag.Uint64("max-uops", 0, "interval length override in micro-ops (0 = workload defaults)")
 		subset   = flag.String("workloads", "", "comma-separated workload subset (default: all 19)")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
@@ -62,6 +62,10 @@ func run() int {
 	if *version {
 		fmt.Println(obs.VersionString("sccbench"))
 		return 0
+	}
+	if *parallel < 0 {
+		fmt.Fprintf(os.Stderr, "sccbench: -parallel must be >= 0 (0 = GOMAXPROCS), got %d\n", *parallel)
+		return 2
 	}
 
 	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
@@ -191,6 +195,16 @@ func run() int {
 			return f.Timing, nil
 		},
 		"overhead": func() (*sccsim.SweepSummary, error) { sccsim.Overheads(os.Stdout); return nil, nil },
+		"simpoint-sharded": func() (*sccsim.SweepSummary, error) {
+			o := opts
+			o.ShardSimPoints = true
+			f, err := sccsim.SimPointSweep(o)
+			if err != nil {
+				return nil, err
+			}
+			f.Write(os.Stdout)
+			return nil, nil
+		},
 		"ext": func() (*sccsim.SweepSummary, error) {
 			f, err := sccsim.Extension(opts)
 			if err != nil {

@@ -72,6 +72,10 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "sccsim: -pipeview-limit must be positive (got %d)\n", *pipeviewN)
 		return 2
 	}
+	if *parallel < 0 {
+		fmt.Fprintf(os.Stderr, "sccsim: -parallel must be >= 0 (0 = GOMAXPROCS), got %d\n", *parallel)
+		return 2
+	}
 
 	if *list {
 		for _, w := range sccsim.Workloads() {

@@ -48,6 +48,10 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "scctrace: -pipeview-limit must be positive (got %d)\n", *pipeviewN)
 		return 2
 	}
+	if *parallel < 0 {
+		fmt.Fprintf(os.Stderr, "scctrace: -parallel must be >= 0 (0 = GOMAXPROCS), got %d\n", *parallel)
+		return 2
+	}
 	if *workload == "" {
 		fmt.Fprintln(os.Stderr, "scctrace: need -workload (see sccsim -list)")
 		return 2

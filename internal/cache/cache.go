@@ -64,9 +64,14 @@ type Cache struct {
 // New builds a cache level. Sets and LineBytes must be powers of two.
 func New(cfg Config) *Cache {
 	c := &Cache{cfg: cfg, rng: 0x243f6a8885a308d3}
+	// One flat backing array sub-sliced per set: set geometry is fixed for
+	// the cache's lifetime, and a single allocation (instead of one per
+	// set) keeps large hierarchies cheap to construct — the L3 alone has
+	// thousands of sets, which used to dominate machine-setup allocations.
 	c.sets = make([][]line, cfg.Sets)
+	backing := make([]line, cfg.Sets*cfg.Ways)
 	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Ways)
+		c.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
 	}
 	for b := cfg.LineBytes; b > 1; b >>= 1 {
 		c.lineBits++

@@ -81,6 +81,12 @@ type Options struct {
 	// with exact serial semantics. Results are order-deterministic
 	// either way.
 	Parallel int
+	// ShardSimPoints makes SimPointSweepRun measure each SimPoint
+	// representative as its own scheduler job with functional fast-forward
+	// warmup (SimPointEstimateSharded, WarmupFunctional) instead of one
+	// serial resumable pass per workload. Estimates carry cold-start bias;
+	// results remain byte-identical across Parallel settings.
+	ShardSimPoints bool
 	// CacheDir, when non-empty, enables the manifest result cache: before
 	// simulating, each run probes the directory for a manifest whose
 	// ConfigHash matches the effective configuration and rehydrates the

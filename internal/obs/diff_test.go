@@ -86,6 +86,47 @@ func TestDiffFlagsSyntheticRegressions(t *testing.T) {
 
 // Ordinal matching: two entries of the same (experiment, workload,
 // max_uops) group — distinct sweep levels — must pair positionally.
+// TestDiffThroughputInformational pins the uops_per_sec column's
+// contract: it appears only when both sides recorded a rate, and even a
+// large drop never counts as a regression (host wall-clock throughput is
+// machine-dependent and must not gate CI).
+func TestDiffThroughputInformational(t *testing.T) {
+	withRate := func(e obs.IndexEntry, rate float64) obs.IndexEntry {
+		e.UopsPerSec = rate
+		return e
+	}
+	base := diffIndex(
+		withRate(entry("fig6", "mcf", 1.5, 0.10, 2e-5), 4e6),
+		entry("fig6", "lbm", 2.0, 0.20, 3e-5), // no rate recorded
+	)
+	cur := diffIndex(
+		withRate(entry("fig6", "mcf", 1.5, 0.10, 2e-5), 1e6), // 4x slower
+		withRate(entry("fig6", "lbm", 2.0, 0.20, 3e-5), 5e6),
+	)
+	rep := obs.DiffIndexes(base, cur, obs.DefaultThresholds())
+	if rep.Regressions != 0 {
+		t.Fatalf("throughput drop gated the diff: %+v", rep.Entries)
+	}
+	var sawRate bool
+	for _, e := range rep.Entries {
+		for _, d := range e.Deltas {
+			if d.Name != "uops_per_sec" {
+				continue
+			}
+			sawRate = true
+			if !strings.Contains(e.Key, "mcf") {
+				t.Errorf("rate column appeared for %s, where base has no rate", e.Key)
+			}
+			if d.Regressed {
+				t.Error("uops_per_sec marked regressed; it must stay informational")
+			}
+		}
+	}
+	if !sawRate {
+		t.Error("uops_per_sec column missing for the entry both sides rated")
+	}
+}
+
 func TestDiffOrdinalMatching(t *testing.T) {
 	base := diffIndex(
 		entry("fig6", "mcf", 1.0, 0, 2e-5),    // level baseline

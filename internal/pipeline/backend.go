@@ -1,32 +1,76 @@
 package pipeline
 
 import (
-	"container/heap"
-
 	"sccsim/internal/cache"
 	"sccsim/internal/isa"
 	"sccsim/internal/uop"
 )
 
-// cycleHeap is a min-heap of cycle numbers, used to track IQ and LSQ
-// occupancy (entries leave the structure when their cycle passes).
-type cycleHeap []uint64
-
-func (h cycleHeap) Len() int            { return len(h) }
-func (h cycleHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h cycleHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *cycleHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
-func (h *cycleHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// cycleCounter tracks occupancy of a structure (IQ, LSQ) whose entries
+// leave at known future cycles. It replaces the previous min-heap: pushes
+// bump a per-cycle bucket in a power-of-two ring, and drain credits back
+// every bucket the clock has passed — O(1) per push and amortized O(1)
+// per cycle, with no per-entry heap sifting or boxing.
+type cycleCounter struct {
+	counts []uint16
+	mask   uint64
+	last   uint64 // all cycles <= last have been credited back
+	occ    int
+	stale  int // entries pushed at cycles <= last; credited on next drain
 }
 
-func (h *cycleHeap) drain(now uint64) {
-	for h.Len() > 0 && (*h)[0] <= now {
-		heap.Pop(h)
+func newCycleCounter() *cycleCounter {
+	const size = 1 << 9
+	return &cycleCounter{counts: make([]uint16, size), mask: size - 1}
+}
+
+// Len returns the current occupancy.
+func (q *cycleCounter) Len() int { return q.occ }
+
+// push records an entry leaving at cycle c.
+func (q *cycleCounter) push(c uint64) {
+	q.occ++
+	if c <= q.last {
+		// Already-passed cycle: the entry is live only until the next
+		// drain call (matching the heap's pop-on-next-drain behaviour).
+		q.stale++
+		return
+	}
+	if c-q.last > uint64(len(q.counts)) {
+		q.grow(c)
+	}
+	q.counts[c&q.mask]++
+}
+
+// drain credits back every entry whose cycle has passed.
+func (q *cycleCounter) drain(now uint64) {
+	q.occ -= q.stale
+	q.stale = 0
+	for c := q.last + 1; c <= now; c++ {
+		i := c & q.mask
+		q.occ -= int(q.counts[i])
+		q.counts[i] = 0
+	}
+	if now > q.last {
+		q.last = now
+	}
+}
+
+// grow widens the ring until cycle c fits the live window (last, last+size].
+func (q *cycleCounter) grow(c uint64) {
+	old := q.counts
+	oldMask := q.mask
+	size := len(old)
+	for c-q.last > uint64(size) {
+		size *= 2
+	}
+	q.counts = make([]uint16, size)
+	q.mask = uint64(size - 1)
+	for d := uint64(1); d <= uint64(len(old)); d++ {
+		cyc := q.last + d
+		if v := old[cyc&oldMask]; v > 0 {
+			q.counts[cyc&q.mask] = v
+		}
 	}
 }
 
@@ -36,6 +80,13 @@ func (h *cycleHeap) drain(now uint64) {
 // a unit in the meantime (real schedulers bind units at wakeup/select).
 // The ring records issues per future cycle, tagged by cycle number so
 // stale slots self-reset.
+//
+// The ring starts small and grows adaptively: a slot whose tag is a
+// *future* cycle (>= now) is a live reservation that must not be aliased,
+// so a collision there doubles the ring until every live cycle maps to a
+// distinct slot. Ring size therefore tracks the actual scheduling
+// lookahead instead of a worst-case constant, cutting per-machine setup
+// from megabytes to kilobytes.
 type fuPool struct {
 	units     int
 	latency   int
@@ -45,36 +96,72 @@ type fuPool struct {
 	mask      uint64
 }
 
-// fuRingBits bounds scheduling lookahead; in-flight completion times stay
-// within the ROB-drain horizon, far below this window.
-const fuRingBits = 18
+// fuRingInitBits is the initial scheduling-lookahead window; the ring
+// grows on demand when in-flight completion times exceed it.
+const fuRingInitBits = 10
 
 func newFUPool(n, latency int, pipelined bool) *fuPool {
 	return &fuPool{
 		units:     n,
 		latency:   latency,
 		pipelined: pipelined,
-		count:     make([]uint16, 1<<fuRingBits),
-		tag:       make([]uint64, 1<<fuRingBits),
-		mask:      1<<fuRingBits - 1,
+		count:     make([]uint16, 1<<fuRingInitBits),
+		tag:       make([]uint64, 1<<fuRingInitBits),
+		mask:      1<<fuRingInitBits - 1,
 	}
 }
 
-// slot returns the issue count for a cycle, resetting stale entries.
-func (p *fuPool) slot(c uint64) *uint16 {
-	i := c & p.mask
-	if p.tag[i] != c {
-		p.tag[i] = c
-		p.count[i] = 0
+// slot returns the issue count for cycle c (c >= now), resetting stale
+// entries and growing the ring when a live future reservation collides.
+func (p *fuPool) slot(c, now uint64) *uint16 {
+	for {
+		i := c & p.mask
+		if p.tag[i] == c {
+			return &p.count[i]
+		}
+		if p.tag[i] < now || p.count[i] == 0 {
+			p.tag[i] = c
+			p.count[i] = 0
+			return &p.count[i]
+		}
+		p.grow(now)
 	}
-	return &p.count[i]
+}
+
+// grow doubles the ring until every live reservation maps to a distinct
+// slot, then carries the live entries over.
+func (p *fuPool) grow(now uint64) {
+	oldCount, oldTag := p.count, p.tag
+	maxLive := now
+	for i := range oldTag {
+		if oldTag[i] >= now && oldCount[i] > 0 && oldTag[i] > maxLive {
+			maxLive = oldTag[i]
+		}
+	}
+	size := len(oldCount)
+	for uint64(size) <= maxLive-now+1 {
+		size *= 2
+	}
+	if size == len(oldCount) {
+		size *= 2 // collision implies the window no longer fits; force growth
+	}
+	p.count = make([]uint16, size)
+	p.tag = make([]uint64, size)
+	p.mask = uint64(size - 1)
+	for i := range oldTag {
+		if oldTag[i] >= now && oldCount[i] > 0 {
+			j := oldTag[i] & p.mask
+			p.tag[j] = oldTag[i]
+			p.count[j] = oldCount[i]
+		}
+	}
 }
 
 // claim finds the first cycle >= ready with a free unit and claims it.
-func (p *fuPool) claim(ready uint64) uint64 {
+func (p *fuPool) claim(ready, now uint64) uint64 {
 	c := ready
 	for {
-		s := p.slot(c)
+		s := p.slot(c, now)
 		if int(*s) < p.units {
 			*s++
 			return c
@@ -85,13 +172,13 @@ func (p *fuPool) claim(ready uint64) uint64 {
 
 // issue schedules an operation that is ready at `ready`, returning its
 // start and completion cycles.
-func (p *fuPool) issue(ready uint64) (start, complete uint64) {
-	start = p.claim(ready)
+func (p *fuPool) issue(ready, now uint64) (start, complete uint64) {
+	start = p.claim(ready, now)
 	complete = start + uint64(p.latency)
 	if !p.pipelined {
 		// Occupy the unit for the full latency (unpipelined divide).
 		for c := start + 1; c < complete; c++ {
-			s := p.slot(c)
+			s := p.slot(c, now)
 			if int(*s) < p.units {
 				*s = uint16(p.units)
 			}
@@ -102,8 +189,8 @@ func (p *fuPool) issue(ready uint64) (start, complete uint64) {
 
 // issueLatency schedules with a per-op latency (memory ops; ports are
 // pipelined).
-func (p *fuPool) issueLatency(ready uint64, lat int) (start, complete uint64) {
-	start = p.claim(ready)
+func (p *fuPool) issueLatency(ready, now uint64, lat int) (start, complete uint64) {
+	start = p.claim(ready, now)
 	return start, start + uint64(lat)
 }
 
@@ -131,11 +218,10 @@ type backend struct {
 
 	regReady [34]uint64
 
-	rob     []robEntry
-	robHead int
+	rob ring[robEntry]
 
-	iq  cycleHeap
-	lsq cycleHeap
+	iq  *cycleCounter
+	lsq *cycleCounter
 
 	intALU *fuPool
 	mulFU  *fuPool
@@ -145,7 +231,7 @@ type backend struct {
 
 	// storeReady maps an 8-byte-aligned address to the cycle its most
 	// recent store's data is forwardable.
-	storeReady map[uint64]uint64
+	storeReady *u64table[uint64]
 
 	// lastIssue is the wakeup/select cycle of the most recent dispatch —
 	// read by the lifecycle tracer right after a dispatch call.
@@ -160,17 +246,19 @@ func newBackend(cfg *Config, hier *cache.Hierarchy) *backend {
 	return &backend{
 		cfg:        cfg,
 		hier:       hier,
+		iq:         newCycleCounter(),
+		lsq:        newCycleCounter(),
 		intALU:     newFUPool(cfg.IntALUs, cfg.IntLatency, true),
 		mulFU:      newFUPool(cfg.MulUnits, cfg.MulLatency, true),
 		divFU:      newFUPool(cfg.DivUnits, cfg.DivLatency, false),
 		fpFU:       newFUPool(cfg.FPUnits, cfg.FPLatency, true),
 		mem:        newFUPool(cfg.MemPorts, 0, true),
-		storeReady: make(map[uint64]uint64),
+		storeReady: newU64Table[uint64](10),
 	}
 }
 
 // robLen returns current ROB occupancy.
-func (b *backend) robLen() int { return len(b.rob) - b.robHead }
+func (b *backend) robLen() int { return b.rob.len() }
 
 // canDispatch reports whether the back end has room for one more uop.
 func (b *backend) canDispatch(now uint64, isMem bool) bool {
@@ -226,16 +314,16 @@ func (b *backend) dispatch(u *uop.UOp, now uint64, memAddr uint64, doomed bool, 
 	case uop.KAlu:
 		switch u.Fn {
 		case isa.FnMul:
-			start, complete = b.mulFU.issue(ready)
+			start, complete = b.mulFU.issue(ready, now)
 			st.MulDivOps++
 		case isa.FnDiv:
-			start, complete = b.divFU.issue(ready)
+			start, complete = b.divFU.issue(ready, now)
 			st.MulDivOps++
 		default:
-			start, complete = b.intALU.issue(ready)
+			start, complete = b.intALU.issue(ready, now)
 			st.IntOps++
 		}
-		heap.Push(&b.iq, start)
+		b.iq.push(start)
 	case uop.KMovImm, uop.KNop, uop.KHalt:
 		// Zero-latency at rename (immediate moves resolve in the map
 		// table; nop/halt occupy only the ROB).
@@ -247,7 +335,7 @@ func (b *backend) dispatch(u *uop.UOp, now uint64, memAddr uint64, doomed bool, 
 	case uop.KLoad:
 		lat := b.hier.LoadLatency(memAddr)
 		aligned := memAddr &^ 7
-		if fwd, ok := b.storeReady[aligned]; ok {
+		if fwd, ok := b.storeReady.get(aligned); ok {
 			// Store-to-load forwarding.
 			if fwd > ready {
 				ready = fwd
@@ -256,29 +344,29 @@ func (b *backend) dispatch(u *uop.UOp, now uint64, memAddr uint64, doomed bool, 
 				lat = b.hier.L1D.Config().Latency
 			}
 		}
-		start, complete = b.mem.issueLatency(ready, lat)
-		heap.Push(&b.iq, start)
-		heap.Push(&b.lsq, complete)
+		start, complete = b.mem.issueLatency(ready, now, lat)
+		b.iq.push(start)
+		b.lsq.push(complete)
 		st.Loads++
 	case uop.KStore:
-		start, complete = b.mem.issueLatency(ready, 1)
+		start, complete = b.mem.issueLatency(ready, now, 1)
 		b.hier.StoreAccess(memAddr)
 		if !doomed {
-			if len(b.storeReady) > 1<<14 {
-				b.storeReady = make(map[uint64]uint64)
+			if b.storeReady.len() > 1<<14 {
+				b.storeReady.clear()
 			}
-			b.storeReady[memAddr&^7] = complete
+			b.storeReady.put(memAddr&^7, complete)
 		}
-		heap.Push(&b.iq, start)
-		heap.Push(&b.lsq, complete)
+		b.iq.push(start)
+		b.lsq.push(complete)
 		st.Stores++
 	case uop.KBranch, uop.KJump, uop.KJumpReg:
-		start, complete = b.intALU.issue(ready)
-		heap.Push(&b.iq, start)
+		start, complete = b.intALU.issue(ready, now)
+		b.iq.push(start)
 		st.IntOps++
 	case uop.KFp:
-		start, complete = b.fpFU.issue(ready)
-		heap.Push(&b.iq, start)
+		start, complete = b.fpFU.issue(ready, now)
+		b.iq.push(start)
 		st.FPOps++
 	default:
 		start, complete = ready, ready
@@ -295,7 +383,7 @@ func (b *backend) dispatch(u *uop.UOp, now uint64, memAddr uint64, doomed bool, 
 // pushROB appends the dispatched uop for in-order commit tracking. tr is
 // the uop's lifecycle record (nil unless tracing is enabled).
 func (b *backend) pushROB(complete uint64, doomed, slot, macroEnd bool, tr *UopTrace) {
-	b.rob = append(b.rob, robEntry{complete: complete, doomed: doomed, slot: slot, macroEnd: macroEnd, tr: tr})
+	b.rob.push(robEntry{complete: complete, doomed: doomed, slot: slot, macroEnd: macroEnd, tr: tr})
 }
 
 // inlineLiveOut makes a rename-time-inlined constant immediately available
@@ -310,12 +398,11 @@ func (b *backend) inlineLiveOut(r isa.Reg, now uint64) {
 // It returns the number retired.
 func (b *backend) commit(now uint64, st *Stats) int {
 	n := 0
-	for n < b.cfg.CommitWidth && b.robHead < len(b.rob) {
-		e := &b.rob[b.robHead]
+	for n < b.cfg.CommitWidth && !b.rob.empty() {
+		e := b.rob.front()
 		if e.complete > now {
 			break
 		}
-		b.robHead++
 		n++
 		if e.doomed {
 			st.SquashedUops++
@@ -339,17 +426,10 @@ func (b *backend) commit(now uint64, st *Stats) int {
 			}
 			e.tr = nil
 		}
-	}
-	// Compact the ROB slice once the head grows large.
-	if b.robHead > 4096 && b.robHead == len(b.rob) {
-		b.rob = b.rob[:0]
-		b.robHead = 0
-	} else if b.robHead > 1<<16 {
-		b.rob = append(b.rob[:0], b.rob[b.robHead:]...)
-		b.robHead = 0
+		b.rob.advance()
 	}
 	return n
 }
 
 // drained reports whether all in-flight work has retired.
-func (b *backend) drained() bool { return b.robHead >= len(b.rob) }
+func (b *backend) drained() bool { return b.rob.empty() }

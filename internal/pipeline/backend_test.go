@@ -20,7 +20,7 @@ func TestFUPoolCapacityPerCycle(t *testing.T) {
 	// Five ops ready at cycle 10: the fifth slips to cycle 11.
 	var starts []uint64
 	for i := 0; i < 5; i++ {
-		s, c := p.issue(10)
+		s, c := p.issue(10, 10)
 		if c != s+1 {
 			t.Errorf("complete = %d, want start+1", c)
 		}
@@ -41,27 +41,50 @@ func TestFUPoolFutureReadyDoesNotBlockPresent(t *testing.T) {
 	// The regression behind the exchange2 flat-speedup bug: an op whose
 	// operands are ready far in the future must not occupy a unit now.
 	p := newFUPool(1, 1, true)
-	if s, _ := p.issue(1000); s != 1000 {
+	if s, _ := p.issue(1000, 1); s != 1000 {
 		t.Fatalf("future op start = %d", s)
 	}
 	// An op ready NOW must still issue immediately.
-	if s, _ := p.issue(5); s != 5 {
+	if s, _ := p.issue(5, 1); s != 5 {
 		t.Errorf("present op start = %d, want 5 (unit wrongly reserved)", s)
 	}
 	// And the future cycle is genuinely occupied.
-	if s, _ := p.issue(1000); s != 1001 {
+	if s, _ := p.issue(1000, 1); s != 1001 {
 		t.Errorf("second future op start = %d, want 1001", s)
+	}
+}
+
+func TestFUPoolRingGrowsOnLiveCollision(t *testing.T) {
+	// Two live reservations whose cycles alias in the initial ring must
+	// both survive: the ring grows instead of clobbering either.
+	p := newFUPool(1, 1, true)
+	size := uint64(len(p.count))
+	if s, _ := p.issue(1, 1); s != 1 {
+		t.Fatal("first claim misplaced")
+	}
+	if s, _ := p.issue(1+size, 1); s != 1+size {
+		t.Fatalf("aliasing claim start = %d, want %d", s, 1+size)
+	}
+	if uint64(len(p.count)) <= size {
+		t.Fatalf("ring did not grow on live collision (size %d)", len(p.count))
+	}
+	// Both cycles are still occupied after the growth.
+	if s, _ := p.issue(1, 1); s != 2 {
+		t.Errorf("cycle-1 reservation lost across growth (start %d)", s)
+	}
+	if s, _ := p.issue(1+size, 1); s != 2+size {
+		t.Errorf("cycle-%d reservation lost across growth (start %d)", 1+size, s)
 	}
 }
 
 func TestFUPoolUnpipelinedOccupancy(t *testing.T) {
 	p := newFUPool(1, 10, false)
-	s1, c1 := p.issue(0)
+	s1, c1 := p.issue(0, 0)
 	if s1 != 0 || c1 != 10 {
 		t.Fatalf("first: %d..%d", s1, c1)
 	}
 	// Second divide may not start until the first completes.
-	s2, _ := p.issue(0)
+	s2, _ := p.issue(0, 0)
 	if s2 < 10 {
 		t.Errorf("unpipelined overlap: second start = %d", s2)
 	}
@@ -75,7 +98,7 @@ func TestFUPoolThroughputProperty(t *testing.T) {
 	perCycle := map[uint64]int{}
 	for i := 0; i < 5000; i++ {
 		ready := uint64(rng.Intn(2000))
-		s, _ := p.issue(ready)
+		s, _ := p.issue(ready, 0)
 		if s < ready {
 			t.Fatal("issued before ready")
 		}
@@ -88,23 +111,57 @@ func TestFUPoolThroughputProperty(t *testing.T) {
 	}
 }
 
-func TestCycleHeapDrain(t *testing.T) {
-	var h cycleHeap
+func TestCycleCounterDrain(t *testing.T) {
+	q := newCycleCounter()
 	for _, v := range []uint64{5, 1, 9, 3, 7} {
-		h = append(h, v)
+		q.push(v)
 	}
-	// heap.Init equivalent: push one by one instead.
-	h = nil
-	for _, v := range []uint64{5, 1, 9, 3, 7} {
-		pushCycle(&h, v)
+	q.drain(4)
+	if q.Len() != 3 {
+		t.Errorf("after drain(4): %d entries, want 3", q.Len())
 	}
-	h.drain(4)
-	if h.Len() != 3 {
-		t.Errorf("after drain(4): %d entries, want 3", h.Len())
+	q.drain(100)
+	if q.Len() != 0 {
+		t.Error("drain(100) should empty the counter")
 	}
-	h.drain(100)
-	if h.Len() != 0 {
-		t.Error("drain(100) should empty the heap")
+}
+
+func TestCycleCounterMatchesMultiset(t *testing.T) {
+	// Property: under monotone drain clocks and random pushes (including
+	// far-future cycles that force ring growth, and already-passed cycles
+	// that stay live until the next drain), Len matches a reference
+	// multiset model at every step.
+	rng := rand.New(rand.NewSource(7))
+	q := newCycleCounter()
+	ref := map[uint64]int{}
+	refLen := 0
+	now := uint64(0)
+	for i := 0; i < 30000; i++ {
+		switch rng.Intn(3) {
+		case 0, 1:
+			c := now + uint64(rng.Intn(2000))
+			if rng.Intn(20) == 0 {
+				c = now + uint64(rng.Intn(1<<14)) // outgrow the ring
+			}
+			if rng.Intn(10) == 0 && now > 3 {
+				c = now - 3 // already-passed cycle
+			}
+			q.push(c)
+			ref[c]++
+			refLen++
+		default:
+			now += uint64(rng.Intn(5))
+			q.drain(now)
+			for c, n := range ref {
+				if c <= now {
+					refLen -= n
+					delete(ref, c)
+				}
+			}
+		}
+		if q.Len() != refLen {
+			t.Fatalf("step %d: Len = %d, want %d", i, q.Len(), refLen)
+		}
 	}
 }
 
@@ -192,7 +249,7 @@ func TestBackendDoomedUopsDoNotPollute(t *testing.T) {
 	// Doomed stores must not enter the forwarding table.
 	dst := uop.UOp{Kind: uop.KStore, Dst: isa.RegNone, Src1: isa.R6, Src2: isa.R7}
 	be.dispatch(&dst, 3, 0x300000, true, &st)
-	if _, ok := be.storeReady[0x300000]; ok {
+	if _, ok := be.storeReady.get(0x300000); ok {
 		t.Error("doomed store entered the forwarding table")
 	}
 }
@@ -256,16 +313,3 @@ func TestBackendCanDispatchLimits(t *testing.T) {
 	_ = be2.canDispatch(1, false) // must not panic; occupancy drained by time
 }
 
-func pushCycle(h *cycleHeap, v uint64) {
-	*h = append(*h, v)
-	// sift up
-	i := len(*h) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if (*h)[p] <= (*h)[i] {
-			break
-		}
-		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
-		i = p
-	}
-}

@@ -1,0 +1,103 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+
+	"sccsim/internal/emu"
+	"sccsim/internal/isa"
+	"sccsim/internal/scc"
+	"sccsim/internal/workloads"
+)
+
+// TestFastForwardFunctionalWarmup checks the sharded-SimPoint warmup
+// primitive: skipping a prefix through the oracle leaves the machine
+// resumable at a macro boundary, the budget still bounds absolute program
+// work, and architectural state stays equal to the pure golden model.
+func TestFastForwardFunctionalWarmup(t *testing.T) {
+	const prefix, budget = 15_000, 30_000
+	w, _ := workloads.ByName("xalancbmk")
+	cfg := IcelakeSCC(scc.LevelFull)
+	cfg.MaxUops = budget
+	m, err := New(cfg, w.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.MemInit != nil {
+		w.MemInit(m.Oracle.Mem)
+	}
+	skipped, err := m.FastForward(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped < prefix {
+		t.Fatalf("skipped %d uops, want >= %d", skipped, prefix)
+	}
+	if m.Oracle.Seq() != 0 {
+		t.Fatal("fast-forward stopped mid-macro-op")
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CommittedUops == 0 {
+		t.Fatal("nothing committed after fast-forward")
+	}
+	// Fast-forwarded uops never enter the pipeline, so at most the
+	// post-prefix work commits.
+	if st.CommittedUops > budget-prefix {
+		t.Errorf("committed %d uops, budget after prefix is %d", st.CommittedUops, budget-prefix)
+	}
+	// Architectural equivalence: oracle state equals the golden model run
+	// to the same uop count.
+	g := emu.New(w.Program())
+	if w.MemInit != nil {
+		w.MemInit(g.Mem)
+	}
+	g.Run(m.Oracle.UopCount)
+	for r := isa.R0; r <= isa.SP; r++ {
+		if a, b := m.Oracle.St.Get(r), g.St.Get(r); a != b {
+			t.Errorf("%s = %d, golden %d", r, a, b)
+		}
+	}
+
+	// A machine that already simulated cannot rewind its fetch stream.
+	if _, err := m.FastForward(1); err == nil {
+		t.Error("FastForward accepted a machine that already ran")
+	}
+}
+
+// TestRepeatedRunsShareNoState guards the pooled hot-path structures
+// (stream buffer, IDQ/ROB rings, region and dry-run tables, issue rings):
+// two fresh machines over the same inputs must produce identical stats,
+// including when a different workload runs in between — any state leaking
+// out of a machine, or left stale inside a pool between streams, shows up
+// as a counter divergence here.
+func TestRepeatedRunsShareNoState(t *testing.T) {
+	run := func(name string) *Stats {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			t.Fatalf("unknown workload %q", name)
+		}
+		cfg := IcelakeSCC(scc.LevelFull)
+		cfg.MaxUops = 30_000
+		m, err := New(cfg, w.Program())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.MemInit != nil {
+			w.MemInit(m.Oracle.Mem)
+		}
+		st, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	first := run("freqmine")
+	run("mcf") // interleaved different workload
+	second := run("freqmine")
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("repeated runs diverged:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+}

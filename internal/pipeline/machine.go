@@ -64,29 +64,41 @@ type Machine struct {
 	be  *backend
 	dec *uop.Decoder
 
-	idq      []idqEntry
-	idqHead  int
+	idq      ring[idqEntry]
 	idqSlots int
 
 	cur stream
+	// streamBuf is the persistent backing array for stream entries: every
+	// buildTrace/buildFromOpt/buildDoomedStream reuses it (entries are
+	// copied by value into the IDQ, and a new stream is only built once the
+	// previous one has fully drained), so stream construction stops
+	// allocating once the high-water mark is reached.
+	streamBuf []idqEntry
 
 	redirectPending  bool
 	redirectIsSquash bool
 	resumeFetchAt    uint64 // 0 = not yet known (redirect uop not dispatched)
 
-	nextPC     uint64
-	forceUnopt map[uint64]bool
-	locked     map[uint64]*uopcache.Line
-	lastReq    map[uint64]uint64
-	// regionSquashes counts invariant violations per entry PC; repeated
-	// offenders back off exponentially from re-compaction (§V's phase-out
-	// of streams whose invariants have gone stale).
-	regionSquashes map[uint64]uint64
-	scratch        []*uopcache.Line
+	nextPC uint64
+	// forceUnopt holds entry PCs whose next fetch must bypass the
+	// optimized partition (post-squash recovery); at most a handful are
+	// ever pending, so a linear-scanned slice beats a map.
+	forceUnopt []uint64
+	// locked tracks lines pinned in the unoptimized partition while a
+	// compaction job reads them; the partition caps locked ways at
+	// MaxWaysPerRegion, so the list stays tiny.
+	locked []lockedLine
+	// regions is the per-region compaction-control table (open-addressed):
+	// last request cycle for the re-request cooldown, and the invariant-
+	// violation count driving the exponential re-compaction backoff (§V's
+	// phase-out of streams whose invariants have gone stale).
+	regions *u64table[regionState]
+	scratch []*uopcache.Line
 
 	// dryRes holds per-uop oracle results from the most recent compacted-
-	// stream validation dry-run, keyed by scc.VPKey.
-	dryRes map[uint64]emu.ExecResult
+	// stream validation dry-run, keyed by scc.VPKey, together with the
+	// dynamic-occurrence counter used to bind wrapped-loop invariants.
+	dryRes *u64table[dryEntry]
 
 	// Interval sampling hook (SetSampleHook): called with a snapshot of
 	// Stats each time another sampleEvery committed micro-ops accumulate.
@@ -108,6 +120,30 @@ type Machine struct {
 	done  bool
 }
 
+// lockedLine pairs a locked unoptimized line with the region PC whose
+// compaction job holds the lock.
+type lockedLine struct {
+	pc   uint64
+	line *uopcache.Line
+}
+
+// regionState is the per-region entry of Machine.regions.
+type regionState struct {
+	// reqAt is the cycle of the region's last accepted compaction request
+	// (0 = never requested; requests only happen at cycle >= 1).
+	reqAt uint64
+	// squashes counts invariant-violation squashes charged to the region.
+	squashes uint64
+}
+
+// dryEntry is one dry-run record in Machine.dryRes.
+type dryEntry struct {
+	res emu.ExecResult
+	// occ counts dynamic occurrences of the key seen so far in the walk
+	// (wrapped loop iterations revisit the same static micro-op).
+	occ int32
+}
+
 // New builds a machine for the given program and configuration.
 func New(cfg Config, prog *asm.Program) (*Machine, error) {
 	vp := vpred.New(cfg.ValuePredictor)
@@ -115,19 +151,16 @@ func New(cfg Config, prog *asm.Program) (*Machine, error) {
 		return nil, fmt.Errorf("pipeline: unknown value predictor %q", cfg.ValuePredictor)
 	}
 	m := &Machine{
-		Cfg:            cfg,
-		Prog:           prog,
-		Oracle:         emu.New(prog),
-		BP:             bpred.NewUnit(),
-		VP:             vp,
-		Hier:           cache.NewHierarchy(cfg.Hier),
-		UC:             uopcache.New(cfg.UC),
-		dec:            uop.NewDecoder(prog.InstAt),
-		forceUnopt:     make(map[uint64]bool),
-		locked:         make(map[uint64]*uopcache.Line),
-		lastReq:        make(map[uint64]uint64),
-		regionSquashes: make(map[uint64]uint64),
-		dryRes:         make(map[uint64]emu.ExecResult),
+		Cfg:     cfg,
+		Prog:    prog,
+		Oracle:  emu.New(prog),
+		BP:      bpred.NewUnit(),
+		VP:      vp,
+		Hier:    cache.NewHierarchy(cfg.Hier),
+		UC:      uopcache.New(cfg.UC),
+		dec:     uop.NewDecoder(prog.InstAt),
+		regions: newU64Table[regionState](8),
+		dryRes:  newU64Table[dryEntry](8),
 	}
 	m.be = newBackend(&m.Cfg, m.Hier)
 	m.nextPC = prog.Entry
@@ -231,8 +264,33 @@ func (m *Machine) Run() (*Stats, error) {
 	return &m.Stats, nil
 }
 
+// FastForward advances the functional oracle by about n micro-ops without
+// simulating them in the pipeline — SimPoint-style functional warmup for
+// sharded interval measurement. It rounds up to the next macro-op boundary
+// (so fetch resumes at a whole instruction) and repoints fetch at the
+// oracle's PC. Microarchitectural state — caches, predictors, micro-op
+// cache, SCC unit — is NOT warmed: measurements taken after a fast-forward
+// carry cold-start bias, which is the price of skipping the detailed
+// prefix. MaxUops still bounds the oracle's absolute UopCount, so callers
+// resume with m.Cfg.MaxUops set past the skipped prefix. Only legal on a
+// fresh machine; returns the number of micro-ops actually skipped.
+func (m *Machine) FastForward(n uint64) (uint64, error) {
+	if m.cycle != 0 || m.Stats.CommittedUops != 0 {
+		return 0, fmt.Errorf("pipeline: FastForward on a machine that already ran")
+	}
+	skipped := m.Oracle.Run(n)
+	for m.Oracle.Seq() != 0 && !m.Oracle.Halted() {
+		if _, ok := m.Oracle.StepUop(); !ok {
+			break
+		}
+		skipped++
+	}
+	m.nextPC = m.Oracle.PC()
+	return skipped, nil
+}
+
 func (m *Machine) streamEmpty() bool { return m.cur.idx >= len(m.cur.entries) }
-func (m *Machine) idqEmpty() bool    { return m.idqHead >= len(m.idq) }
+func (m *Machine) idqEmpty() bool    { return m.idq.empty() }
 
 // accountCycle lands the just-simulated cycle in exactly one CPI-stack
 // slot (top-down attribution). Priority: useful work, then wasted work
@@ -274,7 +332,7 @@ func (m *Machine) accountCycle(retired, squashed uint64) {
 func (m *Machine) dispatch() {
 	slots := 0
 	for !m.idqEmpty() && slots < m.Cfg.RenameWidth {
-		e := &m.idq[m.idqHead]
+		e := m.idq.front()
 		isMem := e.u.Kind == uop.KLoad || e.u.Kind == uop.KStore
 		if block := m.be.dispatchBlock(m.cycle, isMem); block != blockNone {
 			m.Stats.ROBStallCycles++
@@ -299,15 +357,8 @@ func (m *Machine) dispatch() {
 		if !e.u.FusedWithPrev {
 			slots++
 		}
-		m.idqHead++
 		m.idqSlots -= boolToInt(!e.u.FusedWithPrev)
-	}
-	if m.idqHead > 4096 && m.idqHead == len(m.idq) {
-		m.idq = m.idq[:0]
-		m.idqHead = 0
-	} else if m.idqHead > 1<<15 {
-		m.idq = append(m.idq[:0], m.idq[m.idqHead:]...)
-		m.idqHead = 0
+		m.idq.advance()
 	}
 }
 
@@ -381,7 +432,7 @@ func (m *Machine) pushStream(budget int) (int, bool) {
 		if e.tr != nil {
 			e.tr.DecodeCycle = m.cycle
 		}
-		m.idq = append(m.idq, e)
+		m.idq.push(e)
 		if !e.u.FusedWithPrev {
 			m.idqSlots++
 			pushed++
@@ -408,11 +459,10 @@ func (m *Machine) buildStream() {
 
 	var sel uopcache.Selection
 	forced := false
-	if m.forceUnopt[pc] {
+	if m.consumeForceUnopt(pc) {
 		// Post-squash redirect: the offending stream came from the
 		// optimized partition, so fetch must source the unoptimized
 		// version this time (§V misspeculation recovery).
-		delete(m.forceUnopt, pc)
 		sel = uopcache.Selection{Line: m.UC.Unopt.Lookup(pc)}
 		forced = true
 	} else {
@@ -473,22 +523,58 @@ func (m *Machine) maybeRequestCompaction(line *uopcache.Line, pc uint64, baseCoo
 	if line != nil && line.Hot < m.Cfg.UC.HotThreshold {
 		return
 	}
+	rs := m.regions.ref(pc)
 	cooldown := baseCooldown
-	if n := m.regionSquashes[pc]; n > 0 {
+	if n := rs.squashes; n > 0 {
 		if n > 8 {
 			n = 8
 		}
 		cooldown <<= n // exponential backoff for squash-prone regions
 	}
-	if last, ok := m.lastReq[pc]; ok && m.cycle-last < cooldown {
+	if rs.reqAt != 0 && m.cycle-rs.reqAt < cooldown {
 		return
 	}
 	if m.Unit.Request(m.cycle, pc) {
-		m.lastReq[pc] = m.cycle
+		rs.reqAt = m.cycle
 		if line != nil && m.UC.Unopt.Lock(line) {
-			m.locked[pc] = line
+			m.lockLine(pc, line)
 		}
 	}
+}
+
+// consumeForceUnopt reports (and clears) a pending post-squash
+// unoptimized-fetch override for pc.
+func (m *Machine) consumeForceUnopt(pc uint64) bool {
+	for i, p := range m.forceUnopt {
+		if p == pc {
+			m.forceUnopt[i] = m.forceUnopt[len(m.forceUnopt)-1]
+			m.forceUnopt = m.forceUnopt[:len(m.forceUnopt)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// addForceUnopt arms the post-squash unoptimized-fetch override for pc.
+func (m *Machine) addForceUnopt(pc uint64) {
+	for _, p := range m.forceUnopt {
+		if p == pc {
+			return
+		}
+	}
+	m.forceUnopt = append(m.forceUnopt, pc)
+}
+
+// lockLine records a locked line for pc, replacing any prior entry for the
+// same region (matching the previous map semantics).
+func (m *Machine) lockLine(pc uint64, line *uopcache.Line) {
+	for i := range m.locked {
+		if m.locked[i].pc == pc {
+			m.locked[i].line = line
+			return
+		}
+	}
+	m.locked = append(m.locked, lockedLine{pc: pc, line: line})
 }
 
 // trainBranch updates the full branch prediction substrate with a resolved
@@ -561,10 +647,11 @@ func (m *Machine) rasOnCall(u *uop.UOp) {
 // This is both the unoptimized-partition streaming path and (via
 // buildFromDecode) the legacy decode path.
 func (m *Machine) buildTrace(budgetSlots int, source int, latency uint64) []idqEntry {
-	m.cur = stream{rate: m.Cfg.FetchWidth, readyAt: m.cycle + latency, source: source}
+	m.cur = stream{entries: m.streamBuf[:0], rate: m.Cfg.FetchWidth, readyAt: m.cycle + latency, source: source}
 	if source == srcDecode {
 		m.cur.rate = m.Cfg.DecodeWidth
 	}
+	tracing := m.traceFn != nil
 	region := isa.RegionStart(m.Oracle.PC())
 	slots := 0
 	for slots < budgetSlots {
@@ -577,7 +664,7 @@ func (m *Machine) buildTrace(budgetSlots int, source int, latency uint64) []idqE
 		}
 		u := *res.U
 		e := idqEntry{u: u, memAddr: res.MemAddr, source: source}
-		if m.traceFn != nil {
+		if tracing {
 			e.tr = m.newUopTrace(&u, source, false)
 		}
 		m.trainValue(&u, res)
@@ -609,6 +696,7 @@ func (m *Machine) buildTrace(budgetSlots int, source int, latency uint64) []idqE
 	if source == srcDecode {
 		m.Stats.DecodedUops += uint64(len(m.cur.entries))
 	}
+	m.streamBuf = m.cur.entries
 	return m.cur.entries
 }
 
@@ -636,13 +724,12 @@ func (m *Machine) buildFromDecode(pc uint64) {
 // violation the stream is squashed back to the unoptimized version (§V).
 func (m *Machine) buildFromOpt(line *uopcache.Line) {
 	meta := line.Meta
-	clear(m.dryRes)
+	m.dryRes.clear()
 
 	m.Oracle.BeginUndo()
 	violated := -1 // invariant index (data first, then control)
 	var violObs emu.ExecResult
 	steps := 0
-	occ := map[uint64]int{}
 	for steps < meta.OrigUops {
 		res, ok := m.Oracle.StepUop()
 		if !ok {
@@ -650,9 +737,10 @@ func (m *Machine) buildFromOpt(line *uopcache.Line) {
 		}
 		steps++
 		key := scc.VPKey(res.U)
-		m.dryRes[key] = res
-		thisOcc := occ[key]
-		occ[key]++
+		de := m.dryRes.ref(key)
+		de.res = res
+		thisOcc := int(de.occ)
+		de.occ++
 		// Check data invariants at their prediction sources; an invariant
 		// binds to one dynamic occurrence of its key (wrapped loops).
 		for i := range meta.DataInv {
@@ -718,14 +806,14 @@ func (m *Machine) buildFromOpt(line *uopcache.Line) {
 		meta.Penalize(violated)
 		m.Stats.InvariantViolations++
 		m.Stats.OptStreamsSquashed++
-		m.regionSquashes[line.EntryPC]++
+		m.regions.ref(line.EntryPC).squashes++
 		m.buildDoomedStream(line, violated)
 		if m.journal != nil && m.journal.Squash != nil {
 			ev.DoomedUops = len(m.cur.entries)
 			ev.PenaltyCycles = m.Cfg.RedirectLatency
 			m.journal.Squash(ev)
 		}
-		m.forceUnopt[line.EntryPC] = true
+		m.addForceUnopt(line.EntryPC)
 		m.nextPC = line.EntryPC
 		return
 	}
@@ -748,14 +836,16 @@ func (m *Machine) buildFromOpt(line *uopcache.Line) {
 		m.Stats.StreamsWithMoreLO++
 	}
 
-	m.cur = stream{rate: m.Cfg.FetchWidth, readyAt: m.cycle, source: srcOpt}
+	m.cur = stream{entries: m.streamBuf[:0], rate: m.Cfg.FetchWidth, readyAt: m.cycle, source: srcOpt}
+	tracing := m.traceFn != nil
 	for i := range line.Uops {
 		u := line.Uops[i]
 		e := idqEntry{u: u, source: srcOpt}
-		if m.traceFn != nil {
+		if tracing {
 			e.tr = m.newUopTrace(&u, srcOpt, false)
 		}
-		if res, ok := m.dryRes[scc.VPKey(&u)]; ok {
+		if de, ok := m.dryRes.get(scc.VPKey(&u)); ok {
+			res := de.res
 			e.memAddr = res.MemAddr
 			// Retained uops execute: train the predictors so their state
 			// never goes out of sync while optimized streams run (§V).
@@ -795,6 +885,7 @@ func (m *Machine) buildFromOpt(line *uopcache.Line) {
 			m.Stats.LiveOutsInlined += 1
 		}
 	}
+	m.streamBuf = m.cur.entries
 	m.nextPC = m.Oracle.PC()
 }
 
@@ -820,15 +911,16 @@ func (m *Machine) buildDoomedStream(line *uopcache.Line, violated int) {
 			}
 		}
 	}
-	m.cur = stream{rate: m.Cfg.FetchWidth, readyAt: m.cycle, source: srcOpt}
+	m.cur = stream{entries: m.streamBuf[:0], rate: m.Cfg.FetchWidth, readyAt: m.cycle, source: srcOpt}
+	tracing := m.traceFn != nil
 	for i := range line.Uops {
 		u := line.Uops[i]
 		e := idqEntry{u: u, source: srcOpt, doomed: true}
-		if m.traceFn != nil {
+		if tracing {
 			e.tr = m.newUopTrace(&u, srcOpt, true)
 		}
-		if res, ok := m.dryRes[scc.VPKey(&u)]; ok {
-			e.memAddr = res.MemAddr
+		if de, ok := m.dryRes.get(scc.VPKey(&u)); ok {
+			e.memAddr = de.res.MemAddr
 		}
 		last := haveStop && scc.VPKey(&u) == stopKey
 		if last {
@@ -845,6 +937,7 @@ func (m *Machine) buildDoomedStream(line *uopcache.Line, violated int) {
 	} else if !m.cur.entries[len(m.cur.entries)-1].redirect {
 		m.cur.entries[len(m.cur.entries)-1].redirect = true
 	}
+	m.streamBuf = m.cur.entries
 	m.redirectPending = true
 	m.redirectIsSquash = true
 }
@@ -869,17 +962,18 @@ func (m *Machine) sccTick() {
 			m.UC.Opt.Insert(res.Line)
 		}
 		// Unlock the source line now that compaction finished.
-		if l, ok := m.locked[res.Line.EntryPC]; ok {
-			m.UC.Unopt.Unlock(l)
-			delete(m.locked, res.Line.EntryPC)
-		}
-	} else {
-		// Aborted/discarded: unlock whatever we had locked for this job.
-		for pc, l := range m.locked {
-			if m.Unit.QueueLen() == 0 || !m.Unit.Busy(m.cycle) {
-				m.UC.Unopt.Unlock(l)
-				delete(m.locked, pc)
+		for i := range m.locked {
+			if m.locked[i].pc == res.Line.EntryPC {
+				m.UC.Unopt.Unlock(m.locked[i].line)
+				m.locked = append(m.locked[:i], m.locked[i+1:]...)
+				break
 			}
 		}
+	} else if m.Unit.QueueLen() == 0 || !m.Unit.Busy(m.cycle) {
+		// Aborted/discarded: unlock whatever we had locked for this job.
+		for _, l := range m.locked {
+			m.UC.Unopt.Unlock(l.line)
+		}
+		m.locked = m.locked[:0]
 	}
 }

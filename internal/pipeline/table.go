@@ -1,0 +1,106 @@
+package pipeline
+
+// u64table is a small open-addressed hash table keyed by uint64 with
+// O(1) generation-based clearing. It replaces the `map[uint64]…` lookups
+// on the fetch and memory paths: linear probing over flat arrays avoids
+// the runtime map's hashing and bucket overhead, and clear() reuses the
+// backing storage instead of reallocating.
+//
+// Iteration order is intentionally not provided — callers only get/put,
+// so determinism never depends on table layout.
+type u64table[V any] struct {
+	keys []uint64
+	vals []V
+	gens []uint32
+	gen  uint32
+	mask uint64
+	n    int
+}
+
+// newU64Table builds a table with 1<<logSize slots.
+func newU64Table[V any](logSize uint) *u64table[V] {
+	size := 1 << logSize
+	return &u64table[V]{
+		keys: make([]uint64, size),
+		vals: make([]V, size),
+		gens: make([]uint32, size),
+		gen:  1,
+		mask: uint64(size - 1),
+	}
+}
+
+func (t *u64table[V]) hash(k uint64) uint64 {
+	k *= 0x9e3779b97f4a7c15
+	k ^= k >> 29
+	return k & t.mask
+}
+
+// len returns the number of live entries.
+func (t *u64table[V]) len() int { return t.n }
+
+// get returns the value stored under k.
+func (t *u64table[V]) get(k uint64) (V, bool) {
+	for i := t.hash(k); ; i = (i + 1) & t.mask {
+		if t.gens[i] != t.gen {
+			var zero V
+			return zero, false
+		}
+		if t.keys[i] == k {
+			return t.vals[i], true
+		}
+	}
+}
+
+// ref returns a pointer to the value stored under k, inserting a zero
+// value first if the key is absent. The pointer is only valid until the
+// next ref/put (which may grow the table).
+func (t *u64table[V]) ref(k uint64) *V {
+	for i := t.hash(k); ; i = (i + 1) & t.mask {
+		if t.gens[i] != t.gen {
+			if t.n >= len(t.keys)*3/4 {
+				t.growTable()
+				return t.ref(k)
+			}
+			t.gens[i] = t.gen
+			t.keys[i] = k
+			var zero V
+			t.vals[i] = zero
+			t.n++
+			return &t.vals[i]
+		}
+		if t.keys[i] == k {
+			return &t.vals[i]
+		}
+	}
+}
+
+// put stores v under k, overwriting any existing value.
+func (t *u64table[V]) put(k uint64, v V) { *t.ref(k) = v }
+
+// clear drops every entry in O(1) by bumping the generation.
+func (t *u64table[V]) clear() {
+	t.n = 0
+	t.gen++
+	if t.gen == 0 { // uint32 wrap: stale gens could collide, so rewrite
+		for i := range t.gens {
+			t.gens[i] = 0
+		}
+		t.gen = 1
+	}
+}
+
+func (t *u64table[V]) growTable() {
+	ok, ov, og, ogen := t.keys, t.vals, t.gens, t.gen
+	size := len(ok) * 2
+	t.keys = make([]uint64, size)
+	t.vals = make([]V, size)
+	t.gens = make([]uint32, size)
+	t.gen = 1
+	t.mask = uint64(size - 1)
+	t.n = 0
+	for i := range ok {
+		if og[i] == ogen {
+			t.put(ok[i], ov[i])
+		}
+	}
+}

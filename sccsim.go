@@ -159,6 +159,15 @@ func Figure11(opts Options) (*harness.Fig11, error) { return harness.Fig11Run(op
 // complex-integer compaction, default-off in the paper configuration).
 func Extension(opts Options) (*harness.Ext, error) { return harness.ExtRun(opts) }
 
+// SimPointSweep estimates every workload's whole-program IPC from
+// SimPoint representatives under full SCC. With Options.ShardSimPoints
+// each representative is measured as its own scheduler job with
+// functional fast-forward warmup (parallel across Options.Parallel
+// workers); otherwise each workload runs as one serial resumable pass.
+func SimPointSweep(opts Options) (*harness.SimPointSweep, error) {
+	return harness.SimPointSweepRun(opts)
+}
+
 // Table1 writes the baseline configuration table (Table I).
 func Table1(w io.Writer) { harness.WriteTable1(w) }
 
