@@ -4,7 +4,8 @@
 GO ?= go
 
 .PHONY: all build test check bench bench-json diff figures fig6 fig7 fig8 \
-        fig9 fig10 fig11 table1 overhead examples clean
+        fig9 fig10 fig11 table1 overhead examples serve serve-smoke loadgen \
+        clean
 
 all: build test
 
@@ -51,6 +52,23 @@ figures:
 
 fig6 fig7 fig8 fig9 fig10 fig11 table1 overhead:
 	$(GO) run ./cmd/sccbench -experiment $@
+
+# Run the HTTP simulation service with a local result cache.
+serve:
+	$(GO) run ./cmd/sccserve -cache manifests
+
+# Service smoke gate: brings sccserve up on a random port, submits a
+# reduced-workload job twice (the repeat must be a cache hit with a
+# byte-identical manifest), checks /healthz and /metrics, and drains
+# cleanly. Wired into CI after make check.
+serve-smoke:
+	$(GO) run ./cmd/sccserve -smoke
+
+# Service-level determinism SLO: hammer an in-process sccserve with
+# concurrent mixed-config requests and assert every manifest is
+# byte-identical to a locally computed one.
+loadgen:
+	$(GO) run ./cmd/sccbench -experiment loadgen
 
 examples:
 	$(GO) run ./examples/quickstart

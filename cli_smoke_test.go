@@ -19,7 +19,7 @@ func TestCLIVersionFlag(t *testing.T) {
 	if _, err := exec.LookPath("go"); err != nil {
 		t.Skip("go toolchain not on PATH")
 	}
-	for _, tool := range []string{"sccsim", "sccbench", "scctrace", "sccdiff"} {
+	for _, tool := range []string{"sccsim", "sccbench", "scctrace", "sccdiff", "sccserve"} {
 		t.Run(tool, func(t *testing.T) {
 			t.Parallel()
 			out, err := exec.Command("go", "run", "./cmd/"+tool, "-version").CombinedOutput()

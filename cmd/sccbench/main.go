@@ -42,11 +42,18 @@ func main() { os.Exit(run()) }
 func run() int {
 	var (
 		experiment = flag.String("experiment", "all",
-			"table1 | fig6 | fig7 | fig8 | fig9 | fig10 | fig11 | overhead | ext | simpoint-sharded | all, or a comma-separated list (all excludes simpoint-sharded)")
+			"table1 | fig6 | fig7 | fig8 | fig9 | fig10 | fig11 | overhead | ext | simpoint-sharded | loadgen | all, or a comma-separated list (all excludes simpoint-sharded and loadgen)")
 		maxUops  = flag.Uint64("max-uops", 0, "interval length override in micro-ops (0 = workload defaults)")
 		subset   = flag.String("workloads", "", "comma-separated workload subset (default: all 19)")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"simulation runs in flight at once (1 = serial)")
+
+		serveURL = flag.String("serve-url", "",
+			"loadgen target sccserve base URL (default: spawn an in-process server)")
+		lgRequests = flag.Int("loadgen-requests", 200,
+			"total requests the loadgen experiment issues (repeats included)")
+		lgConcurrency = flag.Int("loadgen-concurrency", 16,
+			"concurrent in-flight loadgen requests")
 
 		jsonDir    = flag.String("json", "", "write one JSON manifest per run (plus index.json) into this directory")
 		cacheDir   = flag.String("cache", "", "result-cache directory: reuse matching manifests instead of re-simulating, write back misses (any -json output directory works)")
@@ -204,6 +211,9 @@ func run() int {
 			}
 			f.Write(os.Stdout)
 			return nil, nil
+		},
+		"loadgen": func() (*sccsim.SweepSummary, error) {
+			return nil, runLoadgen(opts, *serveURL, *lgRequests, *lgConcurrency)
 		},
 		"ext": func() (*sccsim.SweepSummary, error) {
 			f, err := sccsim.Extension(opts)

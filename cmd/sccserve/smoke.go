@@ -1,0 +1,181 @@
+package main
+
+// The -smoke mode is the CI entry point (make serve-smoke): it brings
+// the real service up on a random port, exercises the core contract
+// over actual HTTP — submit, cache-backed repeat, health, metrics —
+// and drains cleanly, exiting nonzero on the first violation.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"sccsim/internal/serve"
+)
+
+// smokeMaxUops keeps the smoke jobs reduced-scale so CI stays fast.
+const smokeMaxUops = 20_000
+
+func runSmoke(workers, queue int) int {
+	if err := smoke(workers, queue); err != nil {
+		fmt.Fprintf(os.Stderr, "sccserve -smoke: FAIL: %v\n", err)
+		return 1
+	}
+	fmt.Println("sccserve -smoke: ok")
+	return 0
+}
+
+func smoke(workers, queue int) error {
+	cache, err := os.MkdirTemp("", "sccserve-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(cache)
+
+	srv := serve.New(serve.Config{Workers: workers, QueueDepth: queue, CacheDir: cache})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("smoke: serving on %s (cache %s)\n", base, cache)
+	client := &http.Client{Timeout: 2 * time.Minute}
+
+	// Liveness first.
+	if err := expectStatus(client, base+"/healthz", http.StatusOK); err != nil {
+		return err
+	}
+
+	// Cold submission must simulate; the identical repeat must be a
+	// cache hit; both manifests must be byte-identical.
+	body := fmt.Sprintf(`{"workload":"xalancbmk","max_uops":%d,"wait":true}`, smokeMaxUops)
+	cold, err := submit(client, base, body)
+	if err != nil {
+		return fmt.Errorf("cold submit: %w", err)
+	}
+	if cold.State != "done" {
+		return fmt.Errorf("cold job state = %q (error %q), want done", cold.State, cold.Error)
+	}
+	if cold.FromCache {
+		return fmt.Errorf("cold job claims a cache hit")
+	}
+	warm, err := submit(client, base, body)
+	if err != nil {
+		return fmt.Errorf("warm submit: %w", err)
+	}
+	if warm.State != "done" || !warm.FromCache {
+		return fmt.Errorf("warm job state=%q from_cache=%v, want a done cache hit", warm.State, warm.FromCache)
+	}
+	coldMan, err := fetch(client, base+"/v1/jobs/"+cold.ID+"/manifest")
+	if err != nil {
+		return err
+	}
+	warmMan, err := fetch(client, base+"/v1/jobs/"+warm.ID+"/manifest")
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(coldMan, warmMan) {
+		return fmt.Errorf("cold and cached manifests differ (%d vs %d bytes)", len(coldMan), len(warmMan))
+	}
+	fmt.Printf("smoke: cold run + cache hit agree (%d manifest bytes, hash %.12s)\n", len(coldMan), cold.ConfigHash)
+
+	// Direct cache probe by hash must agree too.
+	probe, err := fetch(client, base+"/v1/cache/"+cold.ConfigHash)
+	if err != nil {
+		return fmt.Errorf("cache probe: %w", err)
+	}
+	if !bytes.Equal(probe, coldMan) {
+		return fmt.Errorf("cache probe manifest differs from the job manifest")
+	}
+
+	// Metrics must reflect what just happened.
+	raw, err := fetch(client, base+"/metrics")
+	if err != nil {
+		return err
+	}
+	var met serve.Metrics
+	if err := json.Unmarshal(raw, &met); err != nil {
+		return fmt.Errorf("metrics decode: %w", err)
+	}
+	if met.Completed < 2 || met.CacheHits < 1 || met.CacheMisses < 1 {
+		return fmt.Errorf("metrics completed=%d hits=%d misses=%d, want >=2/>=1/>=1",
+			met.Completed, met.CacheHits, met.CacheMisses)
+	}
+	fmt.Printf("smoke: metrics ok (completed %d, cache %d/%d, p99 %.1fms)\n",
+		met.Completed, met.CacheHits, met.CacheHits+met.CacheMisses, met.LatencyP99MS)
+
+	// Clean shutdown: drain refuses new work, then the pool stops.
+	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := expectStatus(client, base+"/healthz", http.StatusServiceUnavailable); err != nil {
+		return fmt.Errorf("healthz during drain: %w", err)
+	}
+	sctx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := hs.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	srv.Close()
+	fmt.Println("smoke: drained and shut down cleanly")
+	return nil
+}
+
+func submit(client *http.Client, base, body string) (*serve.JobStatus, error) {
+	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("POST /v1/jobs = %d: %s", resp.StatusCode, raw)
+	}
+	var st serve.JobStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+func fetch(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s = %d: %s", url, resp.StatusCode, raw)
+	}
+	return raw, nil
+}
+
+func expectStatus(client *http.Client, url string, want int) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != want {
+		return fmt.Errorf("GET %s = %d, want %d", url, resp.StatusCode, want)
+	}
+	return nil
+}

@@ -1,7 +1,9 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"strings"
@@ -30,9 +32,13 @@ func cachePath(dir string, workload, hash string) string {
 // loadCached probes the cache directory for a finished run of the
 // effective configuration. It returns nil on any miss: absent file,
 // hash/version/schema mismatch (stale entry), or a manifest without the
-// interval series the caller asked for. Energy is recomputed from the
-// cached counters because EnergyParams are a post-processing knob that
-// is deliberately not part of the config hash.
+// interval series the caller asked for. An entry that exists but does
+// not decode (torn write, disk corruption) is deleted as well as
+// missed, so one bad file cannot poison every later lookup of its
+// (workload, config) — the next completed run rewrites the slot.
+// Energy is recomputed from the cached counters because EnergyParams
+// are a post-processing knob that is deliberately not part of the
+// config hash.
 func loadCached(opts Options, w workloads.Workload, cfg pipeline.Config) *RunResult {
 	hash := obs.ConfigHash(w.Name, cfg)
 	path := cachePath(opts.CacheDir, w.Name, hash)
@@ -40,7 +46,14 @@ func loadCached(opts Options, w workloads.Workload, cfg pipeline.Config) *RunRes
 		return nil
 	}
 	man, err := obs.ReadManifest(path)
-	if err != nil || man.Stats == nil {
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			os.Remove(path)
+		}
+		return nil
+	}
+	if man.Stats == nil {
+		os.Remove(path)
 		return nil
 	}
 	if man.ConfigHash != hash || man.SimVersion != obs.Version || man.Schema != obs.SchemaVersion {
@@ -62,9 +75,11 @@ func loadCached(opts Options, w workloads.Workload, cfg pipeline.Config) *RunRes
 }
 
 // storeCached writes the finished run back into the cache directory,
-// atomically (temp file + rename) so a concurrent sweep worker never
-// observes a torn manifest. Failures are swallowed: the cache is an
-// accelerator, never a correctness dependency.
+// atomically (temp file + fsync + rename) so a concurrent sweep worker
+// never observes a torn manifest and a crash right after the rename
+// cannot leave a durable-looking entry with unflushed content behind.
+// Failures are swallowed: the cache is an accelerator, never a
+// correctness dependency.
 func storeCached(dir string, r *RunResult) {
 	path := cachePath(dir, r.Workload, obs.ConfigHash(r.Workload, r.Config))
 	if path == "" {
@@ -83,6 +98,11 @@ func storeCached(dir string, r *RunResult) {
 		os.Remove(tmp.Name())
 		return
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return
@@ -90,4 +110,49 @@ func storeCached(dir string, r *RunResult) {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
 	}
+}
+
+// Probe exposes the cache read path to other layers — the serving tier
+// probes at admission time so a repeated configuration completes
+// without ever occupying a worker slot. The work budget is resolved
+// exactly as Prepare resolves it (opts.MaxUops, else the workload
+// default), so the probe keys on the same effective configuration a
+// run would hash. opts also carries the knobs that shape the
+// rehydrated result (SampleEvery, EnergyParams); it returns nil on any
+// miss.
+func Probe(dir string, w workloads.Workload, cfg pipeline.Config, opts Options) *RunResult {
+	opts.CacheDir = dir
+	cfg.MaxUops = opts.maxUops(w)
+	return loadCached(opts, w, cfg)
+}
+
+// LookupHash scans the cache directory for a manifest whose ConfigHash
+// starts with hash (at least 12 hex characters — the filename stem
+// length — up to the full 64). It is the direct cache-probe primitive
+// behind sccserve's GET /v1/cache/{hash}: the workload name is not
+// known, so the <workload>-<hash12>.json naming convention is matched
+// by suffix and the decoded manifest's full hash is verified. Returns
+// nil when no entry matches.
+func LookupHash(dir, hash string) *obs.Manifest {
+	if len(hash) < 12 || dir == "" {
+		return nil
+	}
+	suffix := "-" + hash[:12] + ".json"
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), suffix) {
+			continue
+		}
+		man, err := obs.ReadManifest(filepath.Join(dir, e.Name()))
+		if err != nil || man.Stats == nil {
+			continue
+		}
+		if strings.HasPrefix(man.ConfigHash, hash) {
+			return man
+		}
+	}
+	return nil
 }

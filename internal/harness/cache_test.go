@@ -122,3 +122,84 @@ func TestResultCacheRejectsStaleVersion(t *testing.T) {
 		t.Error("corrupt entry served from cache")
 	}
 }
+
+func TestResultCacheDeletesCorruptEntry(t *testing.T) {
+	w, _ := workloads.ByName("xalancbmk")
+	dir := t.TempDir()
+	cfg := pipeline.IcelakeSCC(scc.LevelFull)
+	opts := Options{MaxUops: 20_000, CacheDir: dir}
+
+	cold, err := RunOne(cfg, w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := cachePath(dir, cold.Workload, obs.ConfigHash(cold.Workload, cold.Config))
+
+	// Corrupt the entry, then probe without running: the probe must
+	// miss AND delete the file, so one torn write cannot poison every
+	// later lookup of this (workload, config).
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if res := Probe(dir, w, cold.Config, Options{MaxUops: 20_000}); res != nil {
+		t.Fatal("corrupt entry served from cache")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("corrupt entry still present after probe: %v", err)
+	}
+
+	// The slot self-heals: the next run re-simulates and rewrites it.
+	again, err := RunOne(cfg, w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.FromCache {
+		t.Error("deleted slot claimed a cache hit")
+	}
+	if res := Probe(dir, w, cold.Config, Options{MaxUops: 20_000}); res == nil || !res.FromCache {
+		t.Error("rewritten slot did not serve the repeat")
+	}
+}
+
+func TestCacheProbeAndHashLookup(t *testing.T) {
+	w, _ := workloads.ByName("xalancbmk")
+	dir := t.TempDir()
+	cfg := pipeline.IcelakeSCC(scc.LevelFull)
+
+	if res := Probe(dir, w, cfg, Options{MaxUops: 20_000}); res != nil {
+		t.Fatal("probe of an empty cache hit")
+	}
+	cold, err := RunOne(cfg, w, Options{MaxUops: 20_000, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := obs.ConfigHash(cold.Workload, cold.Config)
+
+	// Probe resolves the effective config exactly like a run would:
+	// opts.MaxUops participates in the key.
+	hit := Probe(dir, w, cfg, Options{MaxUops: 20_000})
+	if hit == nil || !hit.FromCache {
+		t.Fatal("warm probe missed")
+	}
+	if !reflect.DeepEqual(hit.Stats, cold.Stats) {
+		t.Error("probed stats differ from the simulated run")
+	}
+	if Probe(dir, w, cfg, Options{MaxUops: 10_000}) != nil {
+		t.Error("probe with a different work budget must miss")
+	}
+
+	// Hash lookup: full hash and 12-char prefix both resolve; an
+	// unknown hash and a too-short prefix do not.
+	if man := LookupHash(dir, hash); man == nil || man.ConfigHash != hash {
+		t.Error("full-hash lookup failed")
+	}
+	if man := LookupHash(dir, hash[:12]); man == nil {
+		t.Error("12-char prefix lookup failed")
+	}
+	if LookupHash(dir, "deadbeefdeadbeef") != nil {
+		t.Error("unknown hash resolved")
+	}
+	if LookupHash(dir, hash[:8]) != nil {
+		t.Error("too-short prefix must not resolve")
+	}
+}

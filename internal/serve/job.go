@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"sccsim/internal/harness"
+	"sccsim/internal/pipeline"
+	"sccsim/internal/workloads"
+)
+
+// jobState is the lifecycle of one submitted job.
+type jobState string
+
+// Job lifecycle states.
+const (
+	StateQueued   jobState = "queued"
+	StateRunning  jobState = "running"
+	StateDone     jobState = "done"
+	StateFailed   jobState = "failed"
+	StateCanceled jobState = "canceled"
+)
+
+func (st jobState) terminal() bool {
+	return st == StateDone || st == StateFailed || st == StateCanceled
+}
+
+// SSE event types emitted on /v1/jobs/{id}/events.
+const (
+	eventState    = "state"
+	eventProgress = "progress"
+	eventInterval = "interval"
+	eventDone     = "done"
+)
+
+type event struct {
+	typ  string
+	data []byte // marshaled payload
+}
+
+type stateEvent struct {
+	State string `json:"state"`
+}
+
+type progressEvent struct {
+	Done      int     `json:"done"`
+	Total     int     `json:"total"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Job       string  `json:"job"`
+	WallMS    float64 `json:"wall_ms"`
+	Uops      uint64  `json:"uops"`
+}
+
+type doneEvent struct {
+	State      string `json:"state"`
+	ConfigHash string `json:"config_hash"`
+	FromCache  bool   `json:"from_cache"`
+	Error      string `json:"error,omitempty"`
+}
+
+// job is one submission's record: resolved inputs, lifecycle state, the
+// append-only event log SSE subscribers replay, and the result manifest.
+type job struct {
+	id          string
+	wl          workloads.Workload
+	cfg         pipeline.Config // effective (work budget applied) — what ConfigHash covers
+	hash        string
+	sampleEvery uint64
+	submitted   time.Time
+
+	mu        sync.Mutex
+	state     jobState
+	errMsg    string
+	fromCache bool
+	manifest  []byte // normalized manifest JSON (Manifest.Encode bytes)
+	events    []event
+	update    chan struct{}      // closed and replaced on every append: broadcast
+	cancel    context.CancelFunc // set while running
+	canceled  bool               // cancellation requested
+	done      chan struct{}      // closed on terminal state
+}
+
+// append records an event and wakes every subscriber.
+func (j *job) append(typ string, payload any) {
+	j.mu.Lock()
+	j.events = append(j.events, event{typ: typ, data: marshal(payload)})
+	close(j.update)
+	j.update = make(chan struct{})
+	j.mu.Unlock()
+}
+
+// eventsFrom returns the log suffix past cursor, the channel that will
+// be closed on the next append, and whether the job is terminal. SSE
+// handlers loop on it: drain, flush, wait.
+func (j *job) eventsFrom(cursor int) (evs []event, update <-chan struct{}, terminal bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if cursor < len(j.events) {
+		evs = j.events[cursor:]
+	}
+	return evs, j.update, j.state.terminal()
+}
+
+// begin transitions queued → running and records the run context's
+// cancel func; false means cancellation won the race and the worker
+// must not start the job.
+func (j *job) begin(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	if j.canceled || j.state.terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = StateRunning
+	j.cancel = cancel
+	j.mu.Unlock()
+	j.append(eventState, stateEvent{State: string(StateRunning)})
+	return true
+}
+
+// requestCancel marks the job cancelled. If it is currently running it
+// returns (true, cancel) and the caller fires the context; otherwise
+// the caller finalizes a queued job directly.
+func (j *job) requestCancel() (running bool, cancel context.CancelFunc) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return false, nil
+	}
+	j.canceled = true
+	if j.state == StateRunning && j.cancel != nil {
+		return true, j.cancel
+	}
+	return false, nil
+}
+
+func (j *job) cancelRequested() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.canceled
+}
+
+// finish moves the job to a terminal state exactly once, appending the
+// final done event and releasing waiters. Returns false if the job was
+// already terminal.
+func (j *job) finish(st jobState, errMsg string, fromCache bool, manifest []byte) bool {
+	j.mu.Lock()
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = st
+	j.errMsg = errMsg
+	j.fromCache = fromCache
+	j.manifest = manifest
+	j.mu.Unlock()
+	j.append(eventDone, doneEvent{
+		State:      string(st),
+		ConfigHash: j.hash,
+		FromCache:  fromCache,
+		Error:      errMsg,
+	})
+	close(j.done)
+	return true
+}
+
+// complete finalizes a successful run: interval events first (so SSE
+// subscribers receive the sampled series), then the done event. False
+// means a concurrent cancellation won the terminal transition.
+func (j *job) complete(manifest []byte, res *harness.RunResult) bool {
+	for i := range res.Samples {
+		j.append(eventInterval, &res.Samples[i])
+	}
+	return j.finish(StateDone, "", res.FromCache, manifest)
+}
+
+func (j *job) fail(msg string) bool { return j.finish(StateFailed, msg, false, nil) }
+
+func (j *job) finishCanceled() bool { return j.finish(StateCanceled, "canceled", false, nil) }
+
+// snapshot returns the fields the status endpoints render.
+func (j *job) snapshot() (st jobState, errMsg string, fromCache bool, manifest []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.errMsg, j.fromCache, j.manifest
+}

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sccsim/internal/stats"
+)
+
+// latencyWindow bounds the sliding samples the percentile metrics are
+// computed over; old samples are overwritten ring-style.
+const latencyWindow = 1024
+
+// metrics is the service's counter set. Latency percentiles come from a
+// bounded ring of end-to-end (submit → done) times; Retry-After
+// estimates come from a separate ring of run-phase times, so near-zero
+// cache hits cannot skew the queue-drain estimate.
+type metrics struct {
+	inFlight    atomic.Int64
+	submitted   atomic.Int64
+	completed   atomic.Int64
+	failed      atomic.Int64
+	canceled    atomic.Int64
+	rejected    atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+
+	mu       sync.Mutex
+	latMS    []float64 // end-to-end latency ring, milliseconds
+	latIdx   int
+	runSecs  []float64 // run-phase wall ring, seconds
+	runIdx   int
+}
+
+func ringPush(buf *[]float64, idx *int, v float64) {
+	if len(*buf) < latencyWindow {
+		*buf = append(*buf, v)
+		return
+	}
+	(*buf)[*idx] = v
+	*idx = (*idx + 1) % latencyWindow
+}
+
+func (m *metrics) observeLatency(d time.Duration) {
+	m.mu.Lock()
+	ringPush(&m.latMS, &m.latIdx, d.Seconds()*1e3)
+	m.mu.Unlock()
+}
+
+func (m *metrics) observeRun(d time.Duration) {
+	m.mu.Lock()
+	ringPush(&m.runSecs, &m.runIdx, d.Seconds())
+	m.mu.Unlock()
+}
+
+func (m *metrics) latencyPercentiles() (p50, p99 float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return stats.Percentile(m.latMS, 50), stats.Percentile(m.latMS, 99)
+}
+
+func (m *metrics) meanRunSeconds() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return stats.Mean(m.runSecs)
+}

@@ -1,0 +1,457 @@
+// Package serve implements the HTTP simulation service (ROADMAP item:
+// cmd/sccserve): an embeddable Server that accepts (workload,
+// configuration) jobs over HTTP, schedules them on a bounded worker
+// pool, streams progress over SSE, and serves repeated configurations
+// out of the ConfigHash result cache in O(1) without re-simulating.
+//
+// The service is a thin tier over the existing libraries — scheduling
+// goes through internal/harness (and therefore internal/runner), results
+// are internal/obs manifests, admission is validated against
+// internal/workloads — so a manifest fetched from the service is
+// byte-identical (after Normalize) to one produced by harness.RunOne
+// with the same inputs. That invariant is the service-level SLO the
+// sccbench loadgen experiment asserts under concurrent load.
+//
+// Scale and overload behaviour:
+//
+//   - Admission queue is bounded (Config.QueueDepth). A submission that
+//     arrives with the queue full is rejected immediately with
+//     429 Too Many Requests plus a Retry-After estimate derived from
+//     observed run times, instead of queuing unboundedly.
+//   - Repeated configurations are served from the result cache at
+//     admission time and never occupy a queue slot or a worker.
+//   - A synchronous submission (wait=true) ties the job to the HTTP
+//     request context: if the client disconnects mid-run the job is
+//     cancelled and the worker slot is freed at once (the
+//     non-interruptible simulation finishes detached and still warms
+//     the cache).
+//   - Drain stops admissions (503) while in-flight and queued jobs run
+//     to completion, bounded by the caller's context.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sccsim/internal/harness"
+	"sccsim/internal/pipeline"
+	"sccsim/internal/runner"
+	"sccsim/internal/workloads"
+)
+
+// Defaults for zero-valued Config fields.
+const (
+	DefaultQueueDepth = 64
+	DefaultMaxUopsCap = 5_000_000
+)
+
+// Config tunes the service.
+type Config struct {
+	// Workers is the simulation worker-pool size (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue (0 = DefaultQueueDepth).
+	// Submissions beyond queued+running capacity get 429 + Retry-After.
+	QueueDepth int
+	// CacheDir enables the ConfigHash result cache: admissions probe it
+	// read-through and finished runs write back, so a repeated
+	// configuration is O(1). Empty disables caching.
+	CacheDir string
+	// MaxUopsCap rejects submissions whose effective work budget exceeds
+	// this many micro-ops (0 = DefaultMaxUopsCap) so one request cannot
+	// monopolize a worker indefinitely.
+	MaxUopsCap uint64
+}
+
+// RunFunc executes one admitted job. The default wraps harness.RunOne;
+// tests replace it (SetRunFunc) to inject slow or context-aware
+// synthetic workloads for backpressure, cancellation and drain coverage.
+type RunFunc func(ctx context.Context, w workloads.Workload, cfg pipeline.Config, opts harness.Options) (*harness.RunResult, error)
+
+// Server is the embeddable simulation service; it implements
+// http.Handler. Create with New, shut down with Drain and/or Close.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	// baseCtx parents every job context; baseCancel aborts in-flight
+	// work on Close or a timed-out Drain.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	queue   chan *job
+	qmu     sync.RWMutex // guards queue sends against Close's close()
+	closed  bool         // under qmu
+	workers sync.WaitGroup
+	pending sync.WaitGroup // queued + running jobs: the drain barrier
+
+	draining atomic.Bool
+
+	mu   sync.Mutex
+	jobs map[string]*job
+	seq  uint64
+
+	met metrics
+
+	run RunFunc
+}
+
+// New builds the service and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.MaxUopsCap == 0 {
+		cfg.MaxUopsCap = DefaultMaxUopsCap
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		mux:        http.NewServeMux(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *job, cfg.QueueDepth),
+		jobs:       make(map[string]*job),
+		run:        defaultRun,
+	}
+	s.routes()
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// SetRunFunc replaces the job executor. Test seam only; call before the
+// server receives traffic.
+func (s *Server) SetRunFunc(fn RunFunc) { s.run = fn }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Drain stops admissions (new submissions get 503, /healthz reports
+// draining) and waits until every queued and in-flight job reaches a
+// terminal state or ctx expires. On expiry the remaining jobs are
+// aborted (their contexts cancelled, simulations detached) and ctx's
+// error is returned.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.pending.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		return ctx.Err()
+	}
+}
+
+// Close aborts all in-flight work and stops the worker pool. Jobs still
+// queued are finalized as canceled. Safe to call after Drain; the
+// server must not receive further requests afterwards.
+func (s *Server) Close() {
+	s.draining.Store(true)
+	s.qmu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.baseCancel()
+		close(s.queue)
+	}
+	s.qmu.Unlock()
+	s.workers.Wait()
+}
+
+// defaultRun executes a job through the harness (and therefore the
+// runner scheduler: panic isolation for free). Machine.Run is not
+// interruptible mid-simulation, so ctx is honoured by the caller, which
+// detaches on cancellation; the detached run's cache write-back still
+// lands.
+func defaultRun(_ context.Context, w workloads.Workload, cfg pipeline.Config, opts harness.Options) (*harness.RunResult, error) {
+	return harness.RunOne(cfg, w, opts)
+}
+
+// newJob allocates and registers a job record.
+func (s *Server) newJob(wl workloads.Workload, cfg pipeline.Config, hash string, sampleEvery uint64) *job {
+	s.mu.Lock()
+	s.seq++
+	j := &job{
+		id:          fmt.Sprintf("j%06d", s.seq),
+		wl:          wl,
+		cfg:         cfg,
+		hash:        hash,
+		sampleEvery: sampleEvery,
+		submitted:   time.Now(),
+		state:       StateQueued,
+		update:      make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+	j.append(eventState, stateEvent{State: string(StateQueued)})
+	return j
+}
+
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// enqueue admits a job into the bounded queue; false means the queue is
+// full (or the server closed) and the caller must reject with 429.
+func (s *Server) enqueue(j *job) bool {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	if s.closed {
+		return false
+	}
+	select {
+	case s.queue <- j:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob owns one worker slot for the lifetime of a dequeued job. On
+// cancellation it frees the slot immediately: the non-interruptible
+// simulation is left to finish detached (its result-cache write-back
+// still warms the next lookup) while the worker moves on.
+func (s *Server) runJob(j *job) {
+	defer s.pending.Done()
+	if s.baseCtx.Err() != nil || j.cancelRequested() {
+		if j.finishCanceled() {
+			s.met.canceled.Add(1)
+		}
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	if !j.begin(cancel) {
+		if j.finishCanceled() {
+			s.met.canceled.Add(1)
+		}
+		return
+	}
+	s.met.inFlight.Add(1)
+	defer s.met.inFlight.Add(-1)
+
+	opts := harness.Options{
+		MaxUops:     j.cfg.MaxUops,
+		Parallel:    1,
+		CacheDir:    s.cfg.CacheDir,
+		SampleEvery: j.sampleEvery,
+		Progress: func(e runner.ProgressEvent) {
+			j.append(eventProgress, progressEvent{
+				Done:      e.Done,
+				Total:     e.Total,
+				ElapsedMS: e.Elapsed.Seconds() * 1e3,
+				Job:       e.Job.Name,
+				WallMS:    e.Job.Wall.Seconds() * 1e3,
+				Uops:      e.Job.Uops,
+			})
+		},
+	}
+	type outcome struct {
+		res *harness.RunResult
+		err error
+	}
+	ch := make(chan outcome, 1)
+	t0 := time.Now()
+	go func() {
+		res, err := s.run(ctx, j.wl, j.cfg, opts)
+		ch <- outcome{res, err}
+	}()
+	select {
+	case out := <-ch:
+		s.finishJob(j, out.res, out.err, time.Since(t0))
+	case <-ctx.Done():
+		go func() { <-ch }() // reap the detached simulation
+		if j.finishCanceled() {
+			s.met.canceled.Add(1)
+		}
+	}
+}
+
+// finishJob packages a completed run: normalized manifest bytes, interval
+// events, terminal state, metrics.
+func (s *Server) finishJob(j *job, res *harness.RunResult, err error, runWall time.Duration) {
+	if err == nil && res == nil {
+		err = fmt.Errorf("run returned no result")
+	}
+	if err != nil {
+		if j.fail(err.Error()) {
+			s.met.failed.Add(1)
+		}
+		return
+	}
+	man, mErr := encodeManifest(res)
+	if mErr != nil {
+		if j.fail(mErr.Error()) {
+			s.met.failed.Add(1)
+		}
+		return
+	}
+	if !j.complete(man, res) {
+		return
+	}
+	s.met.completed.Add(1)
+	if s.cfg.CacheDir != "" {
+		if res.FromCache {
+			s.met.cacheHits.Add(1)
+		} else {
+			s.met.cacheMisses.Add(1)
+		}
+	}
+	if !res.FromCache {
+		s.met.observeRun(runWall)
+	}
+	s.met.observeLatency(time.Since(j.submitted))
+}
+
+// cancelJob requests cancellation: a queued job is finalized on the
+// spot, a running one has its context cancelled (runJob finalizes and
+// frees the slot). Terminal jobs are untouched.
+func (s *Server) cancelJob(j *job) {
+	running, cancel := j.requestCancel()
+	if running {
+		cancel()
+		return
+	}
+	if j.finishCanceled() {
+		s.met.canceled.Add(1)
+	}
+}
+
+// encodeManifest renders the run's Normalize'd manifest — the exact
+// bytes harness.RunOne + Manifest().Normalize().Encode() produce, which
+// is what makes the service's responses byte-comparable to local runs.
+func encodeManifest(res *harness.RunResult) ([]byte, error) {
+	var buf jsonBuffer
+	man := res.Manifest()
+	man.Normalize()
+	if err := man.Encode(&buf); err != nil {
+		return nil, err
+	}
+	return buf.b, nil
+}
+
+type jsonBuffer struct{ b []byte }
+
+func (w *jsonBuffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// probeCache is the admission-time read-through: a repeated
+// configuration completes without touching the queue.
+func (s *Server) probeCache(j *job) bool {
+	if s.cfg.CacheDir == "" {
+		return false
+	}
+	res := harness.Probe(s.cfg.CacheDir, j.wl, j.cfg, harness.Options{
+		MaxUops:     j.cfg.MaxUops,
+		SampleEvery: j.sampleEvery,
+	})
+	if res == nil {
+		return false
+	}
+	man, err := encodeManifest(res)
+	if err != nil {
+		return false
+	}
+	if j.complete(man, res) {
+		s.met.cacheHits.Add(1)
+		s.met.completed.Add(1)
+		s.met.observeLatency(time.Since(j.submitted))
+	}
+	return true
+}
+
+// retryAfter estimates, in whole seconds, how long until a queue slot
+// frees: queued work divided by the pool's drain rate, using the mean
+// of recently observed run times. Clamped to [1, 60].
+func (s *Server) retryAfter() int {
+	mean := s.met.meanRunSeconds()
+	if mean <= 0 {
+		return 1
+	}
+	queued := len(s.queue) + 1
+	est := mean * float64(queued) / float64(s.cfg.Workers)
+	sec := int(est + 0.999)
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
+}
+
+// snapshotMetrics assembles the /metrics payload.
+func (s *Server) snapshotMetrics() Metrics {
+	p50, p99 := s.met.latencyPercentiles()
+	return Metrics{
+		Workers:      s.cfg.Workers,
+		QueueDepth:   len(s.queue),
+		QueueCap:     s.cfg.QueueDepth,
+		InFlight:     s.met.inFlight.Load(),
+		Submitted:    s.met.submitted.Load(),
+		Completed:    s.met.completed.Load(),
+		Failed:       s.met.failed.Load(),
+		Canceled:     s.met.canceled.Load(),
+		Rejected429:  s.met.rejected.Load(),
+		CacheHits:    s.met.cacheHits.Load(),
+		CacheMisses:  s.met.cacheMisses.Load(),
+		LatencyP50MS: p50,
+		LatencyP99MS: p99,
+		Draining:     s.draining.Load(),
+	}
+}
+
+// Metrics is the /metrics JSON document.
+type Metrics struct {
+	Workers      int     `json:"workers"`
+	QueueDepth   int     `json:"queue_depth"`
+	QueueCap     int     `json:"queue_cap"`
+	InFlight     int64   `json:"in_flight"`
+	Submitted    int64   `json:"submitted"`
+	Completed    int64   `json:"completed"`
+	Failed       int64   `json:"failed"`
+	Canceled     int64   `json:"canceled"`
+	Rejected429  int64   `json:"rejected_429"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	LatencyP50MS float64 `json:"latency_p50_ms"`
+	LatencyP99MS float64 `json:"latency_p99_ms"`
+	Draining     bool    `json:"draining"`
+}
+
+// marshal is a tiny helper for event payloads that cannot fail on the
+// plain structs used here.
+func marshal(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return []byte(`{}`)
+	}
+	return b
+}

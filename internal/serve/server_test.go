@@ -1,0 +1,406 @@
+package serve
+
+// Backpressure, cancellation, SSE termination, drain, and validation
+// coverage. These tests replace the executor (SetRunFunc) with slow or
+// context-aware synthetic workloads so overload and disconnect timing
+// is deterministic; the real-simulation path is covered by
+// determinism_test.go and the sccbench loadgen experiment.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"sccsim/internal/harness"
+	"sccsim/internal/pipeline"
+	"sccsim/internal/workloads"
+)
+
+// stubResult is a minimal well-formed run result for stubbed executors.
+func stubResult(w workloads.Workload, cfg pipeline.Config) *harness.RunResult {
+	return &harness.RunResult{Workload: w.Name, Config: cfg, Stats: &pipeline.Stats{}}
+}
+
+func waitState(t *testing.T, ts *httptest.Server, id string, want jobState) *JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		code, raw := get(t, ts.URL+"/v1/jobs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("status fetch for %s = %d", id, code)
+		}
+		var st JobStatus
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State == string(want) {
+			return &st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached state %s", id, want)
+	return nil
+}
+
+func TestQueueFullReturns429WithRetryAfter(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 1})
+	defer srv.Close()
+	started := make(chan string, 8)
+	block := make(chan struct{})
+	srv.SetRunFunc(func(ctx context.Context, w workloads.Workload, cfg pipeline.Config, _ harness.Options) (*harness.RunResult, error) {
+		started <- w.Name
+		select {
+		case <-block:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return stubResult(w, cfg), nil
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Job 1 occupies the single worker...
+	j1, code := postJob(t, ts, `{"workload":"xalancbmk"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit = %d, want 202", code)
+	}
+	<-started
+	// ...job 2 occupies the single queue slot...
+	j2, code := postJob(t, ts, `{"workload":"mcf"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("second submit = %d, want 202", code)
+	}
+	// ...and job 3 must be rejected, not queued unboundedly.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"workload":"lbm"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity submit = %d (%s), want 429", resp.StatusCode, body)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 || ra > 60 {
+		t.Errorf("Retry-After = %q, want an integer in [1, 60]", resp.Header.Get("Retry-After"))
+	}
+	if m := srv.snapshotMetrics(); m.Rejected429 != 1 {
+		t.Errorf("rejected_429 = %d, want 1", m.Rejected429)
+	}
+	// The rejected submission must not leak a job record.
+	if code, _ := get(t, ts.URL+"/v1/jobs/"+j2.ID); code != http.StatusOK {
+		t.Errorf("queued job lookup = %d", code)
+	}
+
+	// Unblock: both admitted jobs run to completion.
+	close(block)
+	waitState(t, ts, j1.ID, StateDone)
+	waitState(t, ts, j2.ID, StateDone)
+	if m := srv.snapshotMetrics(); m.Completed != 2 {
+		t.Errorf("completed = %d, want 2", m.Completed)
+	}
+}
+
+func TestClientDisconnectCancelsJobAndFreesWorker(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 4})
+	defer srv.Close()
+	started := make(chan struct{}, 1)
+	canceled := make(chan struct{})
+	srv.SetRunFunc(func(ctx context.Context, w workloads.Workload, cfg pipeline.Config, _ harness.Options) (*harness.RunResult, error) {
+		if w.Name == "xalancbmk" { // the job whose client hangs up
+			started <- struct{}{}
+			<-ctx.Done()
+			close(canceled)
+			return nil, ctx.Err()
+		}
+		return stubResult(w, cfg), nil
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Synchronous submission whose client disconnects mid-run.
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/jobs",
+		strings.NewReader(`{"workload":"xalancbmk","wait":true}`))
+	req.Header.Set("Content-Type", "application/json")
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := http.DefaultClient.Do(req)
+		errCh <- err
+	}()
+	<-started
+	cancel() // client hangs up mid-job
+	if err := <-errCh; err == nil {
+		t.Fatal("expected the canceled request to error")
+	}
+	select {
+	case <-canceled:
+		// the request-scoped job context was cancelled
+	case <-time.After(5 * time.Second):
+		t.Fatal("job context was never cancelled after client disconnect")
+	}
+
+	// The worker slot must be free again: a fresh synchronous job
+	// completes rather than queueing behind an abandoned simulation.
+	st, code := postJob(t, ts, `{"workload":"mcf","wait":true}`)
+	if code != http.StatusOK || st.State != string(StateDone) {
+		t.Fatalf("post-cancel submit: code %d state %+v", code, st)
+	}
+
+	// The abandoned job is recorded as canceled.
+	srv.mu.Lock()
+	var abandonedID string
+	for id, j := range srv.jobs {
+		if j.wl.Name == "xalancbmk" {
+			abandonedID = id
+		}
+	}
+	srv.mu.Unlock()
+	if abandonedID == "" {
+		t.Fatal("abandoned job record not found")
+	}
+	waitState(t, ts, abandonedID, StateCanceled)
+	if m := srv.snapshotMetrics(); m.Canceled != 1 {
+		t.Errorf("canceled = %d, want 1", m.Canceled)
+	}
+}
+
+// readSSE consumes an event stream to EOF and returns the event types
+// in order plus the data payload of the final "done" event.
+func readSSE(t *testing.T, url string) (types []string, doneData string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content-type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var cur string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur = strings.TrimPrefix(line, "event: ")
+			types = append(types, cur)
+		case strings.HasPrefix(line, "data: ") && cur == eventDone:
+			doneData = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	return types, doneData
+}
+
+func TestSSEStreamsLifecycleAndTerminates(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 4})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// A real (reduced) simulation with interval sampling on.
+	st, code := postJob(t, ts, `{"workload":"xalancbmk","max_uops":20000,"sample_every":5000}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	types, doneData := readSSE(t, ts.URL+"/v1/jobs/"+st.ID+"/events")
+
+	count := map[string]int{}
+	for _, typ := range types {
+		count[typ]++
+	}
+	if count[eventState] < 2 { // queued + running
+		t.Errorf("state events = %d, want >= 2 (got %v)", count[eventState], types)
+	}
+	if count[eventProgress] < 1 {
+		t.Errorf("no progress events in %v", types)
+	}
+	if count[eventInterval] < 2 {
+		t.Errorf("interval events = %d, want >= 2 for 20k uops @ 5k sampling", count[eventInterval])
+	}
+	if count[eventDone] != 1 || types[len(types)-1] != eventDone {
+		t.Errorf("stream must end with exactly one done event, got %v", types)
+	}
+	var done doneEvent
+	if err := json.Unmarshal([]byte(doneData), &done); err != nil {
+		t.Fatalf("done payload %q: %v", doneData, err)
+	}
+	if done.State != string(StateDone) || done.ConfigHash == "" {
+		t.Errorf("done event = %+v", done)
+	}
+}
+
+func TestSSETerminatesOnCancellation(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 4})
+	defer srv.Close()
+	started := make(chan struct{}, 1)
+	srv.SetRunFunc(func(ctx context.Context, w workloads.Workload, cfg pipeline.Config, _ harness.Options) (*harness.RunResult, error) {
+		started <- struct{}{}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	st, _ := postJob(t, ts, `{"workload":"xalancbmk"}`)
+	<-started
+	type sse struct {
+		types []string
+		done  string
+	}
+	out := make(chan sse, 1)
+	go func() {
+		types, doneData := readSSE(t, ts.URL+"/v1/jobs/"+st.ID+"/events")
+		out <- sse{types, doneData}
+	}()
+	// Give the subscriber a beat to attach, then cancel the job.
+	time.Sleep(50 * time.Millisecond)
+	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+st.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	select {
+	case got := <-out:
+		var done doneEvent
+		if err := json.Unmarshal([]byte(got.done), &done); err != nil {
+			t.Fatalf("done payload %q: %v", got.done, err)
+		}
+		if done.State != string(StateCanceled) {
+			t.Errorf("final event state = %s, want canceled (events %v)", done.State, got.types)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE stream did not terminate after job cancellation")
+	}
+	waitState(t, ts, st.ID, StateCanceled)
+}
+
+func TestDrainRefusesNewAndFinishesInFlight(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 4})
+	defer srv.Close()
+	started := make(chan struct{}, 1)
+	block := make(chan struct{})
+	srv.SetRunFunc(func(ctx context.Context, w workloads.Workload, cfg pipeline.Config, _ harness.Options) (*harness.RunResult, error) {
+		started <- struct{}{}
+		select {
+		case <-block: // a slow synthetic workload
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return stubResult(w, cfg), nil
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	st, _ := postJob(t, ts, `{"workload":"xalancbmk"}`)
+	<-started
+
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Drain(context.Background()) }()
+
+	// Drain flips the service read-only: health reports draining and
+	// submissions bounce with 503 while the in-flight job keeps running.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if code, _ := get(t, ts.URL+"/healthz"); code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("healthz never reported draining")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, code := postJob(t, ts, `{"workload":"mcf"}`); code != http.StatusServiceUnavailable {
+		t.Fatalf("submit during drain = %d, want 503", code)
+	}
+
+	// Release the slow job: drain must complete and the job must have
+	// finished, not been aborted.
+	close(block)
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain never completed after in-flight job finished")
+	}
+	waitState(t, ts, st.ID, StateDone)
+}
+
+func TestDrainDeadlineAbortsInFlight(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 4})
+	defer srv.Close()
+	started := make(chan struct{}, 1)
+	srv.SetRunFunc(func(ctx context.Context, w workloads.Workload, cfg pipeline.Config, _ harness.Options) (*harness.RunResult, error) {
+		started <- struct{}{}
+		<-ctx.Done() // never finishes voluntarily
+		return nil, ctx.Err()
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	st, _ := postJob(t, ts, `{"workload":"xalancbmk"}`)
+	<-started
+	dctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := srv.Drain(dctx); err == nil {
+		t.Fatal("drain of a wedged job must report the deadline error")
+	}
+	waitState(t, ts, st.ID, StateCanceled)
+}
+
+func TestSubmitValidation(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 4, MaxUopsCap: 50_000})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	cases := []struct {
+		name, body string
+	}{
+		{"unknown workload", `{"workload":"nope"}`},
+		{"unknown preset", `{"workload":"mcf","preset":"turbo"}`},
+		{"config and preset", `{"workload":"mcf","preset":"baseline","config":{}}`},
+		{"unknown field", `{"workload":"mcf","frobnicate":1}`},
+		{"over budget cap", `{"workload":"mcf","max_uops":60000}`},
+		{"empty body", ``},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("status = %d (%s), want 400", resp.StatusCode, body)
+			}
+		})
+	}
+
+	if code, _ := get(t, ts.URL+"/v1/jobs/j999999"); code != http.StatusNotFound {
+		t.Errorf("unknown job status = %d, want 404", code)
+	}
+	if code, _ := get(t, ts.URL+"/v1/cache/000000000000ffff"); code != http.StatusNotFound {
+		t.Errorf("cache probe without a cache = %d, want 404", code)
+	}
+	if code, _ := get(t, ts.URL+"/v1/cache/beef"); code != http.StatusBadRequest {
+		t.Errorf("short cache hash = %d, want 400", code)
+	}
+	code, raw := get(t, ts.URL+"/v1/workloads")
+	if code != http.StatusOK || !strings.Contains(string(raw), "xalancbmk") {
+		t.Errorf("workloads listing = %d %s", code, raw)
+	}
+}
