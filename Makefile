@@ -4,8 +4,8 @@
 GO ?= go
 
 .PHONY: all build test check bench bench-json diff figures fig6 fig7 fig8 \
-        fig9 fig10 fig11 table1 overhead examples serve serve-smoke loadgen \
-        clean
+        fig9 fig10 fig11 table1 overhead examples serve serve-smoke \
+        telemetry-race loadgen clean
 
 all: build test
 
@@ -59,10 +59,19 @@ serve:
 
 # Service smoke gate: brings sccserve up on a random port, submits a
 # reduced-workload job twice (the repeat must be a cache hit with a
-# byte-identical manifest), checks /healthz and /metrics, and drains
-# cleanly. Wired into CI after make check.
+# byte-identical manifest), checks /healthz and /metrics, scrapes
+# /metrics.prom twice and validates the Prometheus exposition (line
+# syntax, TYPE/HELP coverage, counters monotonic across the scrapes),
+# checks the /debug/flight ring, and drains cleanly. Wired into CI
+# after make check.
 serve-smoke:
 	$(GO) run ./cmd/sccserve -smoke
+
+# Telemetry-focused race gate: the metrics registry, the serve tier's
+# instrument rings, and the stats helpers under the race detector
+# (make check runs -race repo-wide; this is the quick targeted slice).
+telemetry-race:
+	$(GO) test -race ./internal/telemetry ./internal/serve ./internal/stats
 
 # Service-level determinism SLO: hammer an in-process sccserve with
 # concurrent mixed-config requests and assert every manifest is

@@ -47,3 +47,50 @@ func TestCLIRejectsNegativeParallel(t *testing.T) {
 		})
 	}
 }
+
+// TestCLIRejectsInvalidLogLevel pins the -log-level vocabulary on every
+// command: an unknown level is a usage error (exit 2) naming the valid
+// set, fired before any work starts.
+func TestCLIRejectsInvalidLogLevel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI builds in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	for _, tool := range []string{"sccsim", "sccbench", "scctrace", "sccdiff", "sccserve"} {
+		tool := tool
+		t.Run(tool, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", "./cmd/"+tool, "-log-level", "loud").CombinedOutput()
+			if err == nil {
+				t.Fatalf("%s accepted -log-level loud:\n%s", tool, out)
+			}
+			if !strings.Contains(string(out), "exit status 2") {
+				t.Errorf("%s did not exit with usage error 2:\n%s", tool, out)
+			}
+			if !strings.Contains(string(out), "unknown log level") ||
+				!strings.Contains(string(out), "debug|info|warn|error") {
+				t.Errorf("%s stderr does not name the valid log levels:\n%s", tool, out)
+			}
+		})
+	}
+}
+
+// TestCLIRejectsInvalidLogFormat does the same for -log-format.
+func TestCLIRejectsInvalidLogFormat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI builds in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	out, err := exec.Command("go", "run", "./cmd/sccsim", "-log-format", "xml").CombinedOutput()
+	if err == nil {
+		t.Fatalf("sccsim accepted -log-format xml:\n%s", out)
+	}
+	if !strings.Contains(string(out), "unknown log format") ||
+		!strings.Contains(string(out), "text|json") {
+		t.Errorf("sccsim stderr does not name the valid log formats:\n%s", out)
+	}
+}

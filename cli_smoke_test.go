@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"sccsim/internal/obs"
+	"sccsim/internal/telemetry"
 )
 
 func TestCLIVersionFlag(t *testing.T) {
@@ -36,5 +37,46 @@ func TestCLIVersionFlag(t *testing.T) {
 				t.Errorf("%s -version printed more than the banner:\n%s", tool, got)
 			}
 		})
+	}
+}
+
+// TestCLIMetricsDump runs a real (tiny) simulation through sccsim with
+// -metrics-dump - and validates the emitted Prometheus exposition: it
+// must parse under the scraper's structural rules and carry the runner's
+// job counters for the run that just happened.
+func TestCLIMetricsDump(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI builds in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	out, err := exec.Command("go", "run", "./cmd/sccsim",
+		"-workload", "mcf", "-max-uops", "2000", "-metrics-dump", "-").Output()
+	if err != nil {
+		t.Fatalf("sccsim -metrics-dump: %v", err)
+	}
+	// The exposition is everything after the run report; locate its first
+	// header line and parse from there.
+	idx := strings.Index(string(out), "# HELP")
+	if idx < 0 {
+		t.Fatalf("no exposition in stdout:\n%s", out)
+	}
+	exp, err := telemetry.ParseExposition(out[idx:])
+	if err != nil {
+		t.Fatalf("exposition does not validate: %v\n%s", err, out[idx:])
+	}
+	if exp.Samples["runner_jobs_completed_total"] != 1 {
+		t.Errorf("runner_jobs_completed_total = %v, want 1 (one run executed)",
+			exp.Samples["runner_jobs_completed_total"])
+	}
+	if exp.Samples["runner_sweeps_total"] != 1 {
+		t.Errorf("runner_sweeps_total = %v, want 1", exp.Samples["runner_sweeps_total"])
+	}
+	if _, ok := exp.Samples["process_uptime_seconds"]; !ok {
+		t.Error("process_uptime_seconds missing from the dump")
+	}
+	if typ := exp.Types["runner_job_wall_seconds"]; typ != "histogram" {
+		t.Errorf("runner_job_wall_seconds TYPE = %q, want histogram", typ)
 	}
 }

@@ -34,6 +34,7 @@ import (
 	"sccsim"
 	"sccsim/internal/harness"
 	"sccsim/internal/obs"
+	"sccsim/internal/telemetry"
 	"sccsim/internal/workloads"
 )
 
@@ -63,6 +64,10 @@ func run() int {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the harness to this path")
 		memProfile = flag.String("memprofile", "", "write a heap profile of the harness to this path")
 		version    = flag.Bool("version", false, "print the simulator version and exit")
+
+		logLevel    = flag.String("log-level", "warn", "structured log threshold on stderr: "+telemetry.LogLevels)
+		logFormat   = flag.String("log-format", "text", "structured log encoding: "+telemetry.LogFormats)
+		metricsDump = flag.String("metrics-dump", "", "write the Prometheus metrics exposition to this path at exit (\"-\" = stdout)")
 	)
 	flag.Parse()
 
@@ -74,6 +79,18 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "sccbench: -parallel must be >= 0 (0 = GOMAXPROCS), got %d\n", *parallel)
 		return 2
 	}
+	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sccbench: %v\n", err)
+		return 2
+	}
+	defer func() {
+		if *metricsDump != "" {
+			if err := telemetry.DumpMetrics(*metricsDump, telemetry.Default()); err != nil {
+				fmt.Fprintf(os.Stderr, "sccbench: %v\n", err)
+			}
+		}
+	}()
 
 	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {
@@ -86,7 +103,7 @@ func run() int {
 		}
 	}()
 
-	opts := sccsim.Options{MaxUops: *maxUops, Parallel: *parallel}
+	opts := sccsim.Options{MaxUops: *maxUops, Parallel: *parallel, Logger: logger}
 	if *subset != "" {
 		for _, name := range strings.Split(*subset, ",") {
 			w, ok := workloads.ByName(strings.TrimSpace(name))

@@ -21,6 +21,7 @@ import (
 	"os"
 
 	"sccsim/internal/obs"
+	"sccsim/internal/telemetry"
 )
 
 func main() {
@@ -35,6 +36,10 @@ func main() {
 		format  = flag.String("format", "text", "output format: text | markdown")
 		verbose = flag.Bool("v", false, "print all matched entries, not just regressions")
 		version = flag.Bool("version", false, "print the simulator version and exit")
+
+		logLevel    = flag.String("log-level", "warn", "structured log threshold on stderr: "+telemetry.LogLevels)
+		logFormat   = flag.String("log-format", "text", "structured log encoding: "+telemetry.LogFormats)
+		metricsDump = flag.String("metrics-dump", "", "write the Prometheus metrics exposition to this path at exit (\"-\" = stdout)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: sccdiff [flags] <base-index> <new-index>\n")
@@ -48,6 +53,11 @@ func main() {
 	}
 	if *format != "text" && *format != "markdown" {
 		fmt.Fprintf(os.Stderr, "sccdiff: unknown -format %q (text | markdown)\n", *format)
+		os.Exit(2)
+	}
+	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sccdiff: %v\n", err)
 		os.Exit(2)
 	}
 	if flag.NArg() != 2 {
@@ -65,6 +75,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sccdiff: new: %v\n", err)
 		os.Exit(2)
 	}
+	logger.Debug("indexes loaded",
+		"base", flag.Arg(0), "base_entries", len(base.Entries),
+		"new", flag.Arg(1), "new_entries", len(cur.Entries))
 
 	rep := obs.DiffIndexes(base, cur, obs.DiffThresholds{
 		IPCDrop:    *ipcDrop,
@@ -77,6 +90,20 @@ func main() {
 		rep.Write(os.Stdout, *verbose)
 	}
 	if rep.Regressions > 0 {
+		logger.Warn("metric regressions found", "regressions", rep.Regressions)
+		dumpMetrics(*metricsDump)
 		os.Exit(1)
+	}
+	dumpMetrics(*metricsDump)
+}
+
+// dumpMetrics writes the -metrics-dump exposition; sccdiff exits via
+// os.Exit so defers cannot run it.
+func dumpMetrics(path string) {
+	if path == "" {
+		return
+	}
+	if err := telemetry.DumpMetrics(path, telemetry.Default()); err != nil {
+		fmt.Fprintf(os.Stderr, "sccdiff: %v\n", err)
 	}
 }

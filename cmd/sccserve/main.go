@@ -33,6 +33,7 @@ import (
 
 	"sccsim/internal/obs"
 	"sccsim/internal/serve"
+	"sccsim/internal/telemetry"
 )
 
 func main() { os.Exit(run()) }
@@ -54,6 +55,11 @@ func run() int {
 			"write the bound listen address to this file once serving (for scripts using port 0)")
 		smoke   = flag.Bool("smoke", false, "run the self-contained service smoke sequence and exit")
 		version = flag.Bool("version", false, "print the simulator version and exit")
+
+		logLevel  = flag.String("log-level", "info", "structured log threshold on stderr: "+telemetry.LogLevels)
+		logFormat = flag.String("log-format", "text", "structured log encoding: "+telemetry.LogFormats)
+		flightCap = flag.Int("flight-capacity", telemetry.DefaultFlightCapacity,
+			"flight-recorder ring size (recent events served at /debug/flight and dumped on SIGQUIT)")
 	)
 	flag.Parse()
 
@@ -69,16 +75,35 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "sccserve: -workers must be >= 0 (0 = GOMAXPROCS), got %d\n", *workers)
 		return 2
 	}
+	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sccserve: %v\n", err)
+		return 2
+	}
 	if *smoke {
 		return runSmoke(*workers, *queue)
 	}
 
 	srv := serve.New(serve.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		CacheDir:   *cacheDir,
-		MaxUopsCap: *maxUopsCap,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheDir:       *cacheDir,
+		MaxUopsCap:     *maxUopsCap,
+		Logger:         logger,
+		FlightCapacity: *flightCap,
 	})
+
+	// SIGQUIT dumps the flight recorder — the last N structured events —
+	// without stopping the server, the classic "what was it just doing"
+	// escape hatch.
+	quitCh := make(chan os.Signal, 1)
+	signal.Notify(quitCh, syscall.SIGQUIT)
+	go func() {
+		for range quitCh {
+			fmt.Fprintln(os.Stderr, "sccserve: SIGQUIT — flight recorder dump:")
+			srv.Flight().WriteText(os.Stderr)
+		}
+	}()
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sccserve: %v\n", err)

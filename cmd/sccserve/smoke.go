@@ -14,9 +14,11 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"sccsim/internal/serve"
+	"sccsim/internal/telemetry"
 )
 
 // smokeMaxUops keeps the smoke jobs reduced-scale so CI stays fast.
@@ -109,8 +111,27 @@ func smoke(workers, queue int) error {
 		return fmt.Errorf("metrics completed=%d hits=%d misses=%d, want >=2/>=1/>=1",
 			met.Completed, met.CacheHits, met.CacheMisses)
 	}
+	if met.LatencyP99MS == nil {
+		return fmt.Errorf("latency_p99_ms absent after %d completed jobs", met.Completed)
+	}
+	if met.UptimeSeconds <= 0 {
+		return fmt.Errorf("uptime_seconds = %v, want > 0", met.UptimeSeconds)
+	}
 	fmt.Printf("smoke: metrics ok (completed %d, cache %d/%d, p99 %.1fms)\n",
-		met.Completed, met.CacheHits, met.CacheHits+met.CacheMisses, met.LatencyP99MS)
+		met.Completed, met.CacheHits, met.CacheHits+met.CacheMisses, *met.LatencyP99MS)
+
+	// Prometheus exposition: the document must parse under the scraper's
+	// structural rules (sample syntax, TYPE coverage, no duplicates),
+	// cover every counter the JSON document reports, and its counters
+	// must be monotonic across two scrapes with traffic in between.
+	if err := smokeProm(client, base, body); err != nil {
+		return fmt.Errorf("metrics.prom: %w", err)
+	}
+
+	// The flight recorder must have captured the life of the jobs above.
+	if err := smokeFlight(client, base); err != nil {
+		return fmt.Errorf("debug/flight: %w", err)
+	}
 
 	// Clean shutdown: drain refuses new work, then the pool stops.
 	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -128,6 +149,105 @@ func smoke(workers, queue int) error {
 	}
 	srv.Close()
 	fmt.Println("smoke: drained and shut down cleanly")
+	return nil
+}
+
+// smokeProm validates the Prometheus endpoint: format, coverage of the
+// JSON counters, and counter monotonicity across two scrapes.
+func smokeProm(client *http.Client, base, jobBody string) error {
+	scrape := func() (*telemetry.Exposition, error) {
+		resp, err := client.Get(base + "/metrics.prom")
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != telemetry.PrometheusContentType {
+			return nil, fmt.Errorf("content type %q, want %q", ct, telemetry.PrometheusContentType)
+		}
+		return telemetry.ParseExposition(raw)
+	}
+	first, err := scrape()
+	if err != nil {
+		return err
+	}
+	// Every counter of the /metrics JSON document must have a Prometheus
+	// series, plus the satellite gauges.
+	required := []string{
+		"sccserve_jobs_submitted_total", "sccserve_jobs_completed_total",
+		"sccserve_jobs_failed_total", "sccserve_jobs_canceled_total",
+		"sccserve_jobs_rejected_total", "sccserve_cache_hits_total",
+		"sccserve_cache_misses_total", "sccserve_http_requests_total",
+		"sccserve_jobs_in_flight", "sccserve_queue_depth",
+		"sccserve_queue_capacity", "sccserve_workers",
+		"sccserve_uptime_seconds", "sccserve_draining",
+		"sccserve_job_latency_p50_milliseconds", "sccserve_job_latency_p99_milliseconds",
+		"sccserve_job_latency_seconds_count", "sccserve_run_wall_seconds_count",
+		"runner_jobs_completed_total", "process_uptime_seconds",
+	}
+	for _, name := range required {
+		if _, ok := first.Samples[name]; !ok {
+			return fmt.Errorf("series %s missing from the exposition", name)
+		}
+	}
+	// Traffic between the scrapes, then every *_total must not decrease.
+	if _, err := submit(client, base, jobBody); err != nil {
+		return fmt.Errorf("between-scrape submit: %w", err)
+	}
+	second, err := scrape()
+	if err != nil {
+		return err
+	}
+	for series, v1 := range first.Samples {
+		if !strings.HasSuffix(series, "_total") && !strings.Contains(series, "_count") {
+			continue
+		}
+		v2, ok := second.Samples[series]
+		if !ok {
+			return fmt.Errorf("counter %s vanished between scrapes", series)
+		}
+		if v2 < v1 {
+			return fmt.Errorf("counter %s went backwards: %v -> %v", series, v1, v2)
+		}
+	}
+	if second.Samples["sccserve_http_requests_total"] <= first.Samples["sccserve_http_requests_total"] {
+		return fmt.Errorf("http request counter did not advance across scrapes")
+	}
+	fmt.Printf("smoke: exposition ok (%d series, %d TYPE headers, counters monotonic)\n",
+		len(first.Samples), len(first.Types))
+	return nil
+}
+
+// smokeFlight asserts the always-on flight ring captured the admissions
+// and completions of the jobs the smoke run submitted.
+func smokeFlight(client *http.Client, base string) error {
+	raw, err := fetch(client, base+"/debug/flight")
+	if err != nil {
+		return err
+	}
+	var dump telemetry.FlightDump
+	if err := json.Unmarshal(raw, &dump); err != nil {
+		return fmt.Errorf("decode: %w", err)
+	}
+	if dump.Total == 0 || len(dump.Events) == 0 {
+		return fmt.Errorf("flight ring is empty after smoke traffic")
+	}
+	seen := map[string]bool{}
+	for _, ev := range dump.Events {
+		seen[ev.Msg] = true
+	}
+	for _, want := range []string{"job submitted", "job done"} {
+		if !seen[want] {
+			return fmt.Errorf("flight ring has no %q event", want)
+		}
+	}
+	fmt.Printf("smoke: flight recorder ok (%d events captured)\n", dump.Total)
 	return nil
 }
 

@@ -30,6 +30,7 @@ import (
 	"sccsim/internal/runner"
 	"sccsim/internal/scc"
 	"sccsim/internal/stats"
+	"sccsim/internal/telemetry"
 	"sccsim/internal/workloads"
 )
 
@@ -61,6 +62,10 @@ func run() int {
 		sampleIv   = flag.Uint64("sample-interval", 10_000, "telemetry sampling interval in committed uops (with -json/-trace)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the simulator to this path")
 		memProfile = flag.String("memprofile", "", "write a heap profile of the simulator to this path")
+
+		logLevel    = flag.String("log-level", "warn", "structured log threshold on stderr: "+telemetry.LogLevels)
+		logFormat   = flag.String("log-format", "text", "structured log encoding: "+telemetry.LogFormats)
+		metricsDump = flag.String("metrics-dump", "", "write the Prometheus metrics exposition to this path at exit (\"-\" = stdout)")
 	)
 	flag.Parse()
 
@@ -68,6 +73,18 @@ func run() int {
 		fmt.Println(obs.VersionString("sccsim"))
 		return 0
 	}
+	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sccsim: %v\n", err)
+		return 2
+	}
+	defer func() {
+		if *metricsDump != "" {
+			if err := telemetry.DumpMetrics(*metricsDump, telemetry.Default()); err != nil {
+				fmt.Fprintf(os.Stderr, "sccsim: %v\n", err)
+			}
+		}
+	}()
 	if *pipeview != "" && *pipeviewN <= 0 {
 		fmt.Fprintf(os.Stderr, "sccsim: -pipeview-limit must be positive (got %d)\n", *pipeviewN)
 		return 2
@@ -106,7 +123,7 @@ func run() int {
 		cfg = cfg.WithValuePredictor(*lvpred)
 	}
 
-	opts := sccsim.Options{MaxUops: *maxUops, Parallel: *parallel}
+	opts := sccsim.Options{MaxUops: *maxUops, Parallel: *parallel, Logger: logger}
 	if *jsonPath != "" || *tracePath != "" {
 		opts.SampleEvery = *sampleIv
 	}

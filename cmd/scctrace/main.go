@@ -18,6 +18,7 @@ import (
 	"sccsim"
 	"sccsim/internal/obs"
 	"sccsim/internal/scc"
+	"sccsim/internal/telemetry"
 	"sccsim/internal/uopcache"
 )
 
@@ -38,12 +39,28 @@ func run() int {
 			"sweep worker count for library Options plumbing (a single trace uses one)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the simulator to this path")
 		memProfile = flag.String("memprofile", "", "write a heap profile of the simulator to this path")
+
+		logLevel    = flag.String("log-level", "warn", "structured log threshold on stderr: "+telemetry.LogLevels)
+		logFormat   = flag.String("log-format", "text", "structured log encoding: "+telemetry.LogFormats)
+		metricsDump = flag.String("metrics-dump", "", "write the Prometheus metrics exposition to this path at exit (\"-\" = stdout)")
 	)
 	flag.Parse()
 	if *version {
 		fmt.Println(obs.VersionString("scctrace"))
 		return 0
 	}
+	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scctrace: %v\n", err)
+		return 2
+	}
+	defer func() {
+		if *metricsDump != "" {
+			if err := telemetry.DumpMetrics(*metricsDump, telemetry.Default()); err != nil {
+				fmt.Fprintf(os.Stderr, "scctrace: %v\n", err)
+			}
+		}
+	}()
 	if *pipeview != "" && *pipeviewN <= 0 {
 		fmt.Fprintf(os.Stderr, "scctrace: -pipeview-limit must be positive (got %d)\n", *pipeviewN)
 		return 2
@@ -90,11 +107,15 @@ func run() int {
 		journal = obs.NewJournalAggregator()
 		journal.Attach(m)
 	}
+	logger.Debug("trace run start", "workload", w.Name, "max_uops", m.Cfg.MaxUops)
 	st, err := m.Run()
 	if err != nil {
+		logger.Error("trace run failed", "workload", w.Name, "error", err.Error())
 		fmt.Fprintln(os.Stderr, "scctrace:", err)
 		return 1
 	}
+	logger.Info("trace run done", "workload", w.Name,
+		"cycles", st.Cycles, "uops", st.CommittedUops)
 	if tracer != nil {
 		if err := tracer.WriteFile(*pipeview); err != nil {
 			fmt.Fprintln(os.Stderr, "scctrace:", err)

@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"context"
+	"log/slog"
+
+	"sccsim/internal/scc"
+)
+
+// debugEnabled reports whether the run logger wants Debug-level events —
+// the gate for the journal logging tap below. Checked once per run, not
+// per event, so the default serving path (Info threshold) never pays the
+// remark-collection cost a Job hook implies.
+func debugEnabled(log *slog.Logger) bool {
+	return log != nil && log.Enabled(context.Background(), slog.LevelDebug)
+}
+
+// journalLogger builds an SCC journal hook bundle that narrates the
+// unit's decision stream onto the run logger: job commits/aborts at
+// Debug, invariant-violation squashes at Warn (they are the events a
+// slow-request investigation hunts for). The logger arrives pre-bound
+// with the caller's correlation attributes (request_id, workload), so
+// each journal line links back to the HTTP admission and scheduler
+// events of the same run. Attached via scc.Tee next to the opt-report
+// aggregator; like every journal consumer, a pure tap.
+func journalLogger(log *slog.Logger) *scc.Journal {
+	ctx := context.Background()
+	return &scc.Journal{
+		Job: func(ev scc.JobEvent) {
+			log.LogAttrs(ctx, slog.LevelDebug, "scc job",
+				slog.Uint64("scc_job_id", ev.JobID),
+				slog.Uint64("pc", ev.PC),
+				slog.Bool("committed", ev.Committed),
+				slog.String("abort", ev.Abort.String()),
+				slog.Int("orig_uops", ev.OrigUops),
+				slog.Int("out_slots", ev.OutSlots),
+				slog.Int("data_inv", ev.DataInv),
+				slog.Int("ctrl_inv", ev.CtrlInv))
+		},
+		Squash: func(ev scc.SquashEvent) {
+			log.LogAttrs(ctx, slog.LevelWarn, "scc squash",
+				slog.Uint64("scc_job_id", ev.JobID),
+				slog.Uint64("pc", ev.PC),
+				slog.String("kind", ev.Kind.String()),
+				slog.Int("inv_idx", ev.InvIdx),
+				slog.Int("conf_at_plant", ev.ConfAtPlant),
+				slog.Int("conf_at_viol", ev.ConfAtViol),
+				slog.Int("doomed_uops", ev.DoomedUops),
+				slog.Int("penalty_cycles", ev.PenaltyCycles))
+		},
+	}
+}

@@ -12,6 +12,8 @@ package harness
 import (
 	"context"
 	"fmt"
+	"log/slog"
+	"time"
 
 	"sccsim/internal/obs"
 	"sccsim/internal/pipeline"
@@ -116,6 +118,16 @@ type Options struct {
 	// Progress is forwarded to the scheduler's live progress hook
 	// (runner.Config.Progress); the hook must not affect results.
 	Progress func(runner.ProgressEvent)
+	// Logger, when non-nil, emits structured run-lifecycle events (run
+	// start/done, cache hits) and is forwarded to the scheduler for job
+	// events. When the logger is enabled at Debug level, the SCC journal
+	// is additionally tapped to log per-event compaction outcomes and
+	// squash forensics, each carrying the logger's bound attributes — the
+	// serving tier binds the admission request_id, so one correlation ID
+	// links the HTTP access log, scheduler events, and SCC journal
+	// entries of the same request. A pure tap: simulation results are
+	// byte-identical with or without it (TestTelemetryPureTap).
+	Logger *slog.Logger
 }
 
 func (o Options) workloads() []workloads.Workload {
@@ -140,7 +152,7 @@ func (o Options) energyParams() power.EnergyParams {
 }
 
 func (o Options) runnerConfig() runner.Config {
-	return runner.Config{Parallel: o.Parallel, Progress: o.Progress}
+	return runner.Config{Parallel: o.Parallel, Progress: o.Progress, Logger: o.Logger}
 }
 
 // Prepare builds the machine for one (workload, configuration) run:
@@ -165,8 +177,19 @@ func measure(cfg pipeline.Config, w workloads.Workload, opts Options) (*RunResul
 	if err != nil {
 		return nil, err
 	}
+	rlog := opts.Logger
+	if rlog != nil {
+		// Bind the run identity once; ConfigHash is only computed when a
+		// logger is attached (it walks the whole effective config).
+		rlog = rlog.With(
+			slog.String("workload", w.Name),
+			slog.String("config_hash", obs.ConfigHash(w.Name, m.Cfg)[:12]))
+	}
 	if opts.CacheDir != "" {
 		if res := loadCached(opts, w, m.Cfg); res != nil {
+			if rlog != nil {
+				rlog.LogAttrs(context.Background(), slog.LevelDebug, "harness cache hit")
+			}
 			return res, nil
 		}
 	}
@@ -174,18 +197,42 @@ func measure(cfg pipeline.Config, w workloads.Workload, opts Options) (*RunResul
 		opts.Observe(m)
 	}
 	var journal *obs.JournalAggregator
+	var hooks *scc.Journal
 	if opts.Journal {
 		journal = obs.NewJournalAggregator()
-		journal.Attach(m)
+		hooks = journal.Hooks()
+	}
+	if debugEnabled(rlog) {
+		// Only a Debug-enabled logger pays for the journal tap (a Job hook
+		// turns on remark collection inside the unit).
+		hooks = scc.Tee(hooks, journalLogger(rlog))
+	}
+	if hooks != nil {
+		m.SetSCCJournal(hooks)
 	}
 	var sampler *obs.Sampler
 	if opts.SampleEvery > 0 {
 		sampler = obs.NewSampler(opts.SampleEvery)
 		sampler.Attach(m)
 	}
+	if rlog != nil {
+		rlog.LogAttrs(context.Background(), slog.LevelDebug, "harness run start",
+			slog.Uint64("max_uops", m.Cfg.MaxUops))
+	}
+	t0 := time.Now()
 	st, err := m.Run()
 	if err != nil {
+		if rlog != nil {
+			rlog.LogAttrs(context.Background(), slog.LevelWarn, "harness run failed",
+				slog.String("error", err.Error()))
+		}
 		return nil, fmt.Errorf("harness: %s: %w", w.Name, err)
+	}
+	if rlog != nil {
+		rlog.LogAttrs(context.Background(), slog.LevelInfo, "harness run done",
+			slog.Float64("wall_ms", time.Since(t0).Seconds()*1e3),
+			slog.Uint64("uops", st.CommittedUops),
+			slog.Uint64("cycles", st.Cycles))
 	}
 	mem := power.CacheCounts{
 		L1D:  m.Hier.L1D.Stats.Hits + m.Hier.L1D.Stats.Misses,

@@ -1,0 +1,59 @@
+package runner
+
+import (
+	"sync"
+
+	"sccsim/internal/telemetry"
+)
+
+// Scheduler job-lifecycle metrics, registered on the process-wide
+// telemetry registry so every consumer — sccserve's /metrics.prom, the
+// batch CLIs' -metrics-dump — sees the same counters without plumbing.
+// Recording is a handful of atomic adds per job (microseconds against
+// millisecond-scale simulations) and never feeds back into scheduling,
+// so results are unaffected.
+type runnerMetrics struct {
+	sweeps    *telemetry.Counter
+	completed *telemetry.Counter
+	failed    *telemetry.Counter
+	skipped   *telemetry.Counter
+	panicked  *telemetry.Counter
+	jobWall   *telemetry.Histogram
+}
+
+var (
+	metricsOnce sync.Once
+	met         runnerMetrics
+)
+
+func metrics() *runnerMetrics {
+	metricsOnce.Do(func() {
+		r := telemetry.Default()
+		met = runnerMetrics{
+			sweeps:    r.Counter("runner_sweeps_total", "Sweeps scheduled through runner.Run."),
+			completed: r.Counter("runner_jobs_completed_total", "Jobs that finished successfully."),
+			failed:    r.Counter("runner_jobs_failed_total", "Jobs that returned an error (panics included)."),
+			skipped:   r.Counter("runner_jobs_skipped_total", "Jobs skipped by fail-fast cancellation."),
+			panicked:  r.Counter("runner_jobs_panicked_total", "Jobs whose failure was a recovered panic."),
+			jobWall:   r.Histogram("runner_job_wall_seconds", "Per-job wall time.", nil),
+		}
+	})
+	return &met
+}
+
+// record folds one finished (or skipped) job into the process metrics.
+func (m *runnerMetrics) record(js JobStats) {
+	switch {
+	case js.Skipped:
+		m.skipped.Inc()
+	case js.Err != nil:
+		m.failed.Inc()
+		if _, ok := js.Err.(*PanicError); ok {
+			m.panicked.Inc()
+		}
+		m.jobWall.Observe(js.Wall.Seconds())
+	default:
+		m.completed.Inc()
+		m.jobWall.Observe(js.Wall.Seconds())
+	}
+}

@@ -23,6 +23,7 @@ package runner
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -42,6 +43,13 @@ type Config struct {
 	// nondeterministic under Parallel > 1; the hook must not affect
 	// results.
 	Progress func(ProgressEvent)
+
+	// Logger, when non-nil, receives structured job-lifecycle events:
+	// completions at Debug, failures and skips at Warn. The serving tier
+	// passes a logger pre-bound with the admission correlation ID, so a
+	// request_id query over the log stream finds the scheduler events of
+	// the run it triggered. Like Progress, a pure tap.
+	Logger *slog.Logger
 }
 
 func (c Config) workers() int {
@@ -105,9 +113,13 @@ func Run[T any](ctx context.Context, cfg Config, jobs []Job[T]) ([]T, *Summary, 
 
 	start := time.Now()
 
+	metrics().sweeps.Inc()
+
 	var progressMu sync.Mutex
 	progressDone := 0
 	report := func(js JobStats) {
+		metrics().record(js)
+		logJob(cfg.Logger, js)
 		if cfg.Progress == nil {
 			return
 		}
@@ -200,6 +212,30 @@ func Run[T any](ctx context.Context, cfg Config, jobs []Job[T]) ([]T, *Summary, 
 		firstErr = context.Cause(ctx)
 	}
 	return values, sum, firstErr
+}
+
+// logJob emits one job's lifecycle event on the sweep logger.
+func logJob(log *slog.Logger, js JobStats) {
+	if log == nil {
+		return
+	}
+	switch {
+	case js.Skipped:
+		log.LogAttrs(context.Background(), slog.LevelWarn, "runner job skipped",
+			slog.String("job_name", js.Name), slog.Int("index", js.Index))
+	case js.Err != nil:
+		log.LogAttrs(context.Background(), slog.LevelWarn, "runner job failed",
+			slog.String("job_name", js.Name), slog.Int("index", js.Index),
+			slog.Int("worker", js.Worker),
+			slog.Float64("wall_ms", js.Wall.Seconds()*1e3),
+			slog.String("error", js.Err.Error()))
+	default:
+		log.LogAttrs(context.Background(), slog.LevelDebug, "runner job done",
+			slog.String("job_name", js.Name), slog.Int("index", js.Index),
+			slog.Int("worker", js.Worker),
+			slog.Float64("wall_ms", js.Wall.Seconds()*1e3),
+			slog.Uint64("uops", js.Uops))
+	}
 }
 
 // runShielded executes one job, converting a panic into a *PanicError so

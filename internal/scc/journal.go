@@ -183,3 +183,47 @@ type Journal struct {
 	Select  func(SelectEvent)
 	Squash  func(SquashEvent)
 }
+
+// Tee fans one journal stream into two consumers — e.g. the opt-report
+// aggregator and a structured-logging correlation tap — preserving the
+// per-hook ordering both would see if attached alone. A nil argument
+// returns the other bundle unchanged; hooks that only one side sets are
+// forwarded without an extra closure.
+func Tee(a, b *Journal) *Journal {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := &Journal{Request: a.Request, Job: a.Job, Select: a.Select, Squash: a.Squash}
+	if b.Request != nil {
+		if f := a.Request; f != nil {
+			out.Request = func(ev RequestEvent) { f(ev); b.Request(ev) }
+		} else {
+			out.Request = b.Request
+		}
+	}
+	if b.Job != nil {
+		if f := a.Job; f != nil {
+			out.Job = func(ev JobEvent) { f(ev); b.Job(ev) }
+		} else {
+			out.Job = b.Job
+		}
+	}
+	if b.Select != nil {
+		if f := a.Select; f != nil {
+			out.Select = func(ev SelectEvent) { f(ev); b.Select(ev) }
+		} else {
+			out.Select = b.Select
+		}
+	}
+	if b.Squash != nil {
+		if f := a.Squash; f != nil {
+			out.Squash = func(ev SquashEvent) { f(ev); b.Squash(ev) }
+		} else {
+			out.Squash = b.Squash
+		}
+	}
+	return out
+}

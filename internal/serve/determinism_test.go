@@ -143,8 +143,11 @@ func TestServiceManifestMatchesLocalRun(t *testing.T) {
 		t.Errorf("metrics completed=%d hits=%d misses=%d, want 2/1/1",
 			m.Completed, m.CacheHits, m.CacheMisses)
 	}
-	if m.LatencyP99MS < m.LatencyP50MS {
-		t.Errorf("latency percentiles inverted: p50 %.3f > p99 %.3f", m.LatencyP50MS, m.LatencyP99MS)
+	if m.LatencyP50MS == nil || m.LatencyP99MS == nil {
+		t.Fatal("latency percentiles absent after completed jobs")
+	}
+	if *m.LatencyP99MS < *m.LatencyP50MS {
+		t.Errorf("latency percentiles inverted: p50 %.3f > p99 %.3f", *m.LatencyP50MS, *m.LatencyP99MS)
 	}
 }
 

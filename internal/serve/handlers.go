@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 
@@ -10,6 +11,7 @@ import (
 	"sccsim/internal/obs"
 	"sccsim/internal/pipeline"
 	"sccsim/internal/scc"
+	"sccsim/internal/telemetry"
 	"sccsim/internal/workloads"
 )
 
@@ -51,6 +53,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics.prom", s.handleMetricsProm)
+	s.mux.HandleFunc("GET /debug/flight", s.handleFlight)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -120,8 +124,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	hash := obs.ConfigHash(wl.Name, cfg)
-	j := s.newJob(wl, cfg, hash, req.SampleEvery)
-	s.met.submitted.Add(1)
+	j := s.newJob(wl, cfg, hash, req.SampleEvery, telemetry.RequestIDFrom(r.Context()))
+	s.met.submitted.Inc()
+	s.jobLogger(j).LogAttrs(r.Context(), slog.LevelInfo, "job submitted",
+		slog.String("config_hash", hash[:12]),
+		slog.Uint64("max_uops", cfg.MaxUops),
+		slog.Bool("wait", req.Wait))
 
 	// Read-through: a repeated configuration is O(1) — answered from the
 	// manifest cache without consuming a queue slot or a worker.
@@ -133,9 +141,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.pending.Add(1)
 	if !s.enqueue(j) {
 		s.pending.Done()
-		s.met.rejected.Add(1)
+		s.met.rejected.Inc()
 		s.dropJob(j)
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+		retry := s.retryAfter()
+		s.jobLogger(j).LogAttrs(r.Context(), slog.LevelWarn, "job rejected: queue full",
+			slog.Int("queue_cap", s.cfg.QueueDepth),
+			slog.Int("retry_after_s", retry))
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		writeErr(w, http.StatusTooManyRequests,
 			"admission queue full (%d queued, %d workers); retry after the indicated delay",
 			s.cfg.QueueDepth, s.cfg.Workers)
@@ -256,4 +268,19 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.snapshotMetrics())
+}
+
+// handleMetricsProm renders the Prometheus text exposition: the
+// server's registry plus the process-wide default registry (runner job
+// counters, process uptime), so one scrape covers both tiers.
+func (s *Server) handleMetricsProm(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", telemetry.PrometheusContentType)
+	telemetry.WritePrometheus(w, s.met.reg, telemetry.Default())
+}
+
+// handleFlight dumps the flight recorder ring — the last N structured
+// events at Info and above, regardless of the console log level.
+func (s *Server) handleFlight(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.flight.WriteJSON(w)
 }

@@ -67,6 +67,7 @@ type job struct {
 	cfg         pipeline.Config // effective (work budget applied) — what ConfigHash covers
 	hash        string
 	sampleEvery uint64
+	requestID   string // admission correlation ID (access log ↔ job events)
 	submitted   time.Time
 
 	mu        sync.Mutex

@@ -2,35 +2,98 @@ package serve
 
 import (
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"sccsim/internal/stats"
+	"sccsim/internal/telemetry"
 )
 
 // latencyWindow bounds the sliding samples the percentile metrics are
 // computed over; old samples are overwritten ring-style.
 const latencyWindow = 1024
 
-// metrics is the service's counter set. Latency percentiles come from a
-// bounded ring of end-to-end (submit → done) times; Retry-After
-// estimates come from a separate ring of run-phase times, so near-zero
-// cache hits cannot skew the queue-drain estimate.
+// metrics is the service's instrument set, backed by a per-server
+// telemetry.Registry so tests can run many servers without name
+// collisions. The registry renders both the legacy /metrics JSON
+// document (via typed accessors) and the /metrics.prom Prometheus
+// exposition. Latency percentiles come from a bounded ring of
+// end-to-end (submit → done) times; Retry-After estimates come from a
+// separate ring of run-phase times, so near-zero cache hits cannot skew
+// the queue-drain estimate. The same observations also feed fixed-bucket
+// histograms for the exposition side.
 type metrics struct {
-	inFlight    atomic.Int64
-	submitted   atomic.Int64
-	completed   atomic.Int64
-	failed      atomic.Int64
-	canceled    atomic.Int64
-	rejected    atomic.Int64
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
+	reg   *telemetry.Registry
+	start time.Time
 
-	mu       sync.Mutex
-	latMS    []float64 // end-to-end latency ring, milliseconds
-	latIdx   int
-	runSecs  []float64 // run-phase wall ring, seconds
-	runIdx   int
+	inFlight    *telemetry.Gauge
+	submitted   *telemetry.Counter
+	completed   *telemetry.Counter
+	failed      *telemetry.Counter
+	canceled    *telemetry.Counter
+	rejected    *telemetry.Counter
+	cacheHits   *telemetry.Counter
+	cacheMisses *telemetry.Counter
+	httpReqs    *telemetry.Counter
+	stalls      *telemetry.Counter
+	latency     *telemetry.Histogram // end-to-end job latency, seconds
+	runWall     *telemetry.Histogram // run-phase wall, seconds
+
+	mu      sync.Mutex
+	latMS   []float64 // end-to-end latency ring, milliseconds
+	latIdx  int
+	runSecs []float64 // run-phase wall ring, seconds
+	runIdx  int
+}
+
+// initMetrics registers the server's instruments. Called from New after
+// the queue exists: the queue/drain gauges read live server state at
+// scrape time instead of being written on every transition.
+func (s *Server) initMetrics() {
+	m := &s.met
+	m.reg = telemetry.NewRegistry()
+	m.start = time.Now()
+	r := m.reg
+	m.submitted = r.Counter("sccserve_jobs_submitted_total", "Job submissions accepted for processing (cache hits included).")
+	m.completed = r.Counter("sccserve_jobs_completed_total", "Jobs that reached the done state.")
+	m.failed = r.Counter("sccserve_jobs_failed_total", "Jobs that reached the failed state.")
+	m.canceled = r.Counter("sccserve_jobs_canceled_total", "Jobs canceled before completion.")
+	m.rejected = r.Counter("sccserve_jobs_rejected_total", "Submissions rejected with 429 (admission queue full).")
+	m.cacheHits = r.Counter("sccserve_cache_hits_total", "Jobs answered from the ConfigHash result cache.")
+	m.cacheMisses = r.Counter("sccserve_cache_misses_total", "Completed jobs that simulated (cache enabled, no entry).")
+	m.httpReqs = r.Counter("sccserve_http_requests_total", "HTTP requests served (all endpoints).")
+	m.stalls = r.Counter("sccserve_queue_stalls_total", "Jobs that waited longer than the stall threshold for a worker.")
+	m.inFlight = r.Gauge("sccserve_jobs_in_flight", "Jobs currently occupying a worker slot.")
+	m.latency = r.Histogram("sccserve_job_latency_seconds", "End-to-end job latency (submit to done).", nil)
+	m.runWall = r.Histogram("sccserve_run_wall_seconds", "Run-phase wall time of simulated (non-cached) jobs.", nil)
+	r.GaugeFunc("sccserve_queue_depth", "Jobs waiting in the admission queue.", func() (float64, bool) {
+		return float64(len(s.queue)), true
+	})
+	r.GaugeFunc("sccserve_queue_capacity", "Admission queue capacity (Config.QueueDepth).", func() (float64, bool) {
+		return float64(s.cfg.QueueDepth), true
+	})
+	r.GaugeFunc("sccserve_workers", "Simulation worker-pool size.", func() (float64, bool) {
+		return float64(s.cfg.Workers), true
+	})
+	r.GaugeFunc("sccserve_uptime_seconds", "Seconds since the server started.", func() (float64, bool) {
+		return time.Since(m.start).Seconds(), true
+	})
+	r.GaugeFunc("sccserve_draining", "1 while the server is draining, 0 otherwise.", func() (float64, bool) {
+		if s.draining.Load() {
+			return 1, true
+		}
+		return 0, true
+	})
+	// Percentile gauges are suppressed (no series emitted) until a first
+	// sample exists — an empty window has no percentiles, and 0 would read
+	// as "impossibly fast", not "no data".
+	r.GaugeFunc("sccserve_job_latency_p50_milliseconds", "Median end-to-end latency over the sliding window.", func() (float64, bool) {
+		p, ok := m.latencyPercentile(50)
+		return p, ok
+	})
+	r.GaugeFunc("sccserve_job_latency_p99_milliseconds", "p99 end-to-end latency over the sliding window.", func() (float64, bool) {
+		p, ok := m.latencyPercentile(99)
+		return p, ok
+	})
 }
 
 func ringPush(buf *[]float64, idx *int, v float64) {
@@ -43,21 +106,28 @@ func ringPush(buf *[]float64, idx *int, v float64) {
 }
 
 func (m *metrics) observeLatency(d time.Duration) {
+	m.latency.Observe(d.Seconds())
 	m.mu.Lock()
 	ringPush(&m.latMS, &m.latIdx, d.Seconds()*1e3)
 	m.mu.Unlock()
 }
 
 func (m *metrics) observeRun(d time.Duration) {
+	m.runWall.Observe(d.Seconds())
 	m.mu.Lock()
 	ringPush(&m.runSecs, &m.runIdx, d.Seconds())
 	m.mu.Unlock()
 }
 
-func (m *metrics) latencyPercentiles() (p50, p99 float64) {
+// latencyPercentile returns the p-th percentile of the sliding window;
+// ok is false while the window is empty (no samples → no percentile).
+func (m *metrics) latencyPercentile(p float64) (v float64, ok bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return stats.Percentile(m.latMS, 50), stats.Percentile(m.latMS, 99)
+	if len(m.latMS) == 0 {
+		return 0, false
+	}
+	return stats.Percentile(m.latMS, p), true
 }
 
 func (m *metrics) meanRunSeconds() float64 {

@@ -33,6 +33,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
@@ -42,6 +43,7 @@ import (
 	"sccsim/internal/harness"
 	"sccsim/internal/pipeline"
 	"sccsim/internal/runner"
+	"sccsim/internal/telemetry"
 	"sccsim/internal/workloads"
 )
 
@@ -50,6 +52,11 @@ const (
 	DefaultQueueDepth = 64
 	DefaultMaxUopsCap = 5_000_000
 )
+
+// stallThreshold is how long a dequeued job may have waited for a worker
+// before the pickup is logged as a pool stall (queue backlog exceeds the
+// pool's drain rate) and counted in sccserve_queue_stalls_total.
+const stallThreshold = time.Second
 
 // Config tunes the service.
 type Config struct {
@@ -66,6 +73,14 @@ type Config struct {
 	// this many micro-ops (0 = DefaultMaxUopsCap) so one request cannot
 	// monopolize a worker indefinitely.
 	MaxUopsCap uint64
+	// Logger receives the service's structured events (access log,
+	// admissions, 429s, job lifecycle). nil logs nowhere — but the flight
+	// recorder below still captures everything at Info and above, so
+	// /debug/flight works even on a silent server.
+	Logger *slog.Logger
+	// FlightCapacity sizes the always-on flight recorder ring
+	// (0 = telemetry.DefaultFlightCapacity).
+	FlightCapacity int
 }
 
 // RunFunc executes one admitted job. The default wraps harness.RunOne;
@@ -98,6 +113,12 @@ type Server struct {
 
 	met metrics
 
+	// log fans out to the configured logger and the flight recorder; the
+	// recorder keeps its own Info threshold, so the ring stays populated
+	// even when Config.Logger is nil or filtered to Warn.
+	log    *slog.Logger
+	flight *telemetry.Recorder
+
 	run RunFunc
 }
 
@@ -112,6 +133,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxUopsCap == 0 {
 		cfg.MaxUopsCap = DefaultMaxUopsCap
 	}
+	if cfg.FlightCapacity <= 0 {
+		cfg.FlightCapacity = telemetry.DefaultFlightCapacity
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
@@ -120,8 +144,15 @@ func New(cfg Config) *Server {
 		baseCancel: cancel,
 		queue:      make(chan *job, cfg.QueueDepth),
 		jobs:       make(map[string]*job),
+		flight:     telemetry.NewRecorder(cfg.FlightCapacity),
 		run:        defaultRun,
 	}
+	if cfg.Logger != nil {
+		s.log = slog.New(telemetry.Fanout(cfg.Logger.Handler(), s.flight))
+	} else {
+		s.log = slog.New(s.flight)
+	}
+	s.initMetrics()
 	s.routes()
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
@@ -134,8 +165,90 @@ func New(cfg Config) *Server {
 // server receives traffic.
 func (s *Server) SetRunFunc(fn RunFunc) { s.run = fn }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// Flight exposes the always-on flight recorder (the /debug/flight ring);
+// cmd/sccserve dumps it on SIGQUIT.
+func (s *Server) Flight() *telemetry.Recorder { return s.flight }
+
+// Registry exposes the server's metric registry, e.g. to render the
+// exposition alongside the process-wide registry in one scrape.
+func (s *Server) Registry() *telemetry.Registry { return s.met.reg }
+
+// ServeHTTP implements http.Handler. It is also the telemetry admission
+// point: every request is counted, assigned a correlation ID (the
+// caller's X-Request-Id if present, otherwise freshly minted), and
+// access-logged with its status and duration. The ID is echoed in the
+// response header and threaded through the job record into the harness
+// and scheduler loggers, so one grep over the log stream reconstructs a
+// request end to end.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.met.httpReqs.Inc()
+	id := r.Header.Get("X-Request-Id")
+	if id == "" {
+		id = telemetry.NewRequestID()
+	}
+	w.Header().Set("X-Request-Id", id)
+	r = r.WithContext(telemetry.WithRequestID(r.Context(), id))
+	sw := &statusWriter{ResponseWriter: w}
+	t0 := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	level := slog.LevelInfo
+	if quietPath(r.URL.Path) {
+		// Scrapes and health probes arrive every few seconds; keep them
+		// out of the Info stream (and the flight ring) unless debugging.
+		level = slog.LevelDebug
+	}
+	s.log.LogAttrs(r.Context(), level, "http request",
+		slog.String(telemetry.RequestIDKey, id),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", sw.status()),
+		slog.Float64("duration_ms", time.Since(t0).Seconds()*1e3))
+}
+
+// quietPath marks the endpoints polled by machines (scrapers, health
+// checks) whose access-log lines are demoted to Debug.
+func quietPath(p string) bool {
+	switch p {
+	case "/healthz", "/metrics", "/metrics.prom", "/debug/flight":
+		return true
+	}
+	return false
+}
+
+// statusWriter captures the response status for the access log. It
+// forwards Flush so the SSE handler's http.Flusher assertion still
+// holds through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
 
 // Drain stops admissions (new submissions get 503, /healthz reports
 // draining) and waits until every queued and in-flight job reaches a
@@ -144,6 +257,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // error is returned.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
+	s.log.LogAttrs(context.Background(), slog.LevelInfo, "drain started")
 	done := make(chan struct{})
 	go func() {
 		s.pending.Wait()
@@ -151,9 +265,11 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.log.LogAttrs(context.Background(), slog.LevelInfo, "drain complete")
 		return nil
 	case <-ctx.Done():
 		s.baseCancel()
+		s.log.LogAttrs(context.Background(), slog.LevelWarn, "drain timed out; aborting in-flight jobs")
 		return ctx.Err()
 	}
 }
@@ -163,6 +279,7 @@ func (s *Server) Drain(ctx context.Context) error {
 // server must not receive further requests afterwards.
 func (s *Server) Close() {
 	s.draining.Store(true)
+	s.log.LogAttrs(context.Background(), slog.LevelInfo, "server closing")
 	s.qmu.Lock()
 	if !s.closed {
 		s.closed = true
@@ -182,8 +299,10 @@ func defaultRun(_ context.Context, w workloads.Workload, cfg pipeline.Config, op
 	return harness.RunOne(cfg, w, opts)
 }
 
-// newJob allocates and registers a job record.
-func (s *Server) newJob(wl workloads.Workload, cfg pipeline.Config, hash string, sampleEvery uint64) *job {
+// newJob allocates and registers a job record. requestID is the
+// admission correlation ID; it rides on the record so the worker that
+// eventually runs the job logs under the same ID the access log used.
+func (s *Server) newJob(wl workloads.Workload, cfg pipeline.Config, hash string, sampleEvery uint64, requestID string) *job {
 	s.mu.Lock()
 	s.seq++
 	j := &job{
@@ -192,6 +311,7 @@ func (s *Server) newJob(wl workloads.Workload, cfg pipeline.Config, hash string,
 		cfg:         cfg,
 		hash:        hash,
 		sampleEvery: sampleEvery,
+		requestID:   requestID,
 		submitted:   time.Now(),
 		state:       StateQueued,
 		update:      make(chan struct{}),
@@ -238,20 +358,27 @@ func (s *Server) worker() {
 // still warms the next lookup) while the worker moves on.
 func (s *Server) runJob(j *job) {
 	defer s.pending.Done()
+	jlog := s.jobLogger(j)
+	if wait := time.Since(j.submitted); wait > stallThreshold {
+		// The job sat in the queue past the stall threshold before a
+		// worker freed up — the signal that the pool is saturated.
+		s.met.stalls.Inc()
+		jlog.LogAttrs(context.Background(), slog.LevelWarn, "worker pool stall",
+			slog.Float64("queue_wait_ms", wait.Seconds()*1e3),
+			slog.Int("queue_depth", len(s.queue)),
+			slog.Int("workers", s.cfg.Workers))
+	}
 	if s.baseCtx.Err() != nil || j.cancelRequested() {
-		if j.finishCanceled() {
-			s.met.canceled.Add(1)
-		}
+		s.finishCanceled(j, jlog)
 		return
 	}
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	defer cancel()
 	if !j.begin(cancel) {
-		if j.finishCanceled() {
-			s.met.canceled.Add(1)
-		}
+		s.finishCanceled(j, jlog)
 		return
 	}
+	jlog.LogAttrs(context.Background(), slog.LevelDebug, "job running")
 	s.met.inFlight.Add(1)
 	defer s.met.inFlight.Add(-1)
 
@@ -260,6 +387,10 @@ func (s *Server) runJob(j *job) {
 		Parallel:    1,
 		CacheDir:    s.cfg.CacheDir,
 		SampleEvery: j.sampleEvery,
+		// The harness binds workload + config_hash onto its run events
+		// itself, so hand it the logger without the workload attr to
+		// keep correlated lines free of duplicate keys.
+		Logger:      s.runLogger(j),
 		Progress: func(e runner.ProgressEvent) {
 			j.append(eventProgress, progressEvent{
 				Done:      e.Done,
@@ -286,9 +417,30 @@ func (s *Server) runJob(j *job) {
 		s.finishJob(j, out.res, out.err, time.Since(t0))
 	case <-ctx.Done():
 		go func() { <-ch }() // reap the detached simulation
-		if j.finishCanceled() {
-			s.met.canceled.Add(1)
-		}
+		s.finishCanceled(j, jlog)
+	}
+}
+
+// jobLogger binds the job's identity onto the service logger — the same
+// request_id the access log carried at admission.
+func (s *Server) jobLogger(j *job) *slog.Logger {
+	return s.runLogger(j).With(slog.String("workload", j.wl.Name))
+}
+
+// runLogger is jobLogger minus the workload attr — the shape handed to
+// harness.Options.Logger, which binds workload/config_hash on its own.
+func (s *Server) runLogger(j *job) *slog.Logger {
+	return s.log.With(
+		slog.String(telemetry.RequestIDKey, j.requestID),
+		slog.String("job", j.id))
+}
+
+// finishCanceled finalizes a cancellation exactly once, with the metric
+// and the lifecycle event.
+func (s *Server) finishCanceled(j *job, jlog *slog.Logger) {
+	if j.finishCanceled() {
+		s.met.canceled.Inc()
+		jlog.LogAttrs(context.Background(), slog.LevelInfo, "job canceled")
 	}
 }
 
@@ -300,32 +452,41 @@ func (s *Server) finishJob(j *job, res *harness.RunResult, err error, runWall ti
 	}
 	if err != nil {
 		if j.fail(err.Error()) {
-			s.met.failed.Add(1)
+			s.met.failed.Inc()
+			s.jobLogger(j).LogAttrs(context.Background(), slog.LevelWarn, "job failed",
+				slog.String("error", err.Error()))
 		}
 		return
 	}
 	man, mErr := encodeManifest(res)
 	if mErr != nil {
 		if j.fail(mErr.Error()) {
-			s.met.failed.Add(1)
+			s.met.failed.Inc()
+			s.jobLogger(j).LogAttrs(context.Background(), slog.LevelWarn, "job failed",
+				slog.String("error", mErr.Error()))
 		}
 		return
 	}
 	if !j.complete(man, res) {
 		return
 	}
-	s.met.completed.Add(1)
+	s.met.completed.Inc()
 	if s.cfg.CacheDir != "" {
 		if res.FromCache {
-			s.met.cacheHits.Add(1)
+			s.met.cacheHits.Inc()
 		} else {
-			s.met.cacheMisses.Add(1)
+			s.met.cacheMisses.Inc()
 		}
 	}
 	if !res.FromCache {
 		s.met.observeRun(runWall)
 	}
-	s.met.observeLatency(time.Since(j.submitted))
+	latency := time.Since(j.submitted)
+	s.met.observeLatency(latency)
+	s.jobLogger(j).LogAttrs(context.Background(), slog.LevelInfo, "job done",
+		slog.String("config_hash", j.hash[:12]),
+		slog.Bool("from_cache", res.FromCache),
+		slog.Float64("latency_ms", latency.Seconds()*1e3))
 }
 
 // cancelJob requests cancellation: a queued job is finalized on the
@@ -337,9 +498,7 @@ func (s *Server) cancelJob(j *job) {
 		cancel()
 		return
 	}
-	if j.finishCanceled() {
-		s.met.canceled.Add(1)
-	}
+	s.finishCanceled(j, s.jobLogger(j))
 }
 
 // encodeManifest renders the run's Normalize'd manifest — the exact
@@ -380,9 +539,12 @@ func (s *Server) probeCache(j *job) bool {
 		return false
 	}
 	if j.complete(man, res) {
-		s.met.cacheHits.Add(1)
-		s.met.completed.Add(1)
+		s.met.cacheHits.Inc()
+		s.met.completed.Inc()
 		s.met.observeLatency(time.Since(j.submitted))
+		s.jobLogger(j).LogAttrs(context.Background(), slog.LevelInfo, "job done",
+			slog.String("config_hash", j.hash[:12]),
+			slog.Bool("from_cache", true))
 	}
 	return true
 }
@@ -409,41 +571,50 @@ func (s *Server) retryAfter() int {
 
 // snapshotMetrics assembles the /metrics payload.
 func (s *Server) snapshotMetrics() Metrics {
-	p50, p99 := s.met.latencyPercentiles()
-	return Metrics{
-		Workers:      s.cfg.Workers,
-		QueueDepth:   len(s.queue),
-		QueueCap:     s.cfg.QueueDepth,
-		InFlight:     s.met.inFlight.Load(),
-		Submitted:    s.met.submitted.Load(),
-		Completed:    s.met.completed.Load(),
-		Failed:       s.met.failed.Load(),
-		Canceled:     s.met.canceled.Load(),
-		Rejected429:  s.met.rejected.Load(),
-		CacheHits:    s.met.cacheHits.Load(),
-		CacheMisses:  s.met.cacheMisses.Load(),
-		LatencyP50MS: p50,
-		LatencyP99MS: p99,
-		Draining:     s.draining.Load(),
+	m := Metrics{
+		Workers:       s.cfg.Workers,
+		QueueDepth:    len(s.queue),
+		QueueCap:      s.cfg.QueueDepth,
+		InFlight:      int64(s.met.inFlight.Value()),
+		Submitted:     s.met.submitted.Value(),
+		Completed:     s.met.completed.Value(),
+		Failed:        s.met.failed.Value(),
+		Canceled:      s.met.canceled.Value(),
+		Rejected429:   s.met.rejected.Value(),
+		CacheHits:     s.met.cacheHits.Value(),
+		CacheMisses:   s.met.cacheMisses.Value(),
+		UptimeSeconds: time.Since(s.met.start).Seconds(),
+		Draining:      s.draining.Load(),
 	}
+	// Percentiles are omitted (null/absent) until the window has a first
+	// sample — 0ms would misread as "instant", not "no data".
+	if p50, ok := s.met.latencyPercentile(50); ok {
+		p99, _ := s.met.latencyPercentile(99)
+		m.LatencyP50MS = &p50
+		m.LatencyP99MS = &p99
+	}
+	return m
 }
 
-// Metrics is the /metrics JSON document.
+// Metrics is the /metrics JSON document. The latency percentiles are
+// pointers so an empty sample window serializes as absent rather than a
+// misleading 0; the Prometheus exposition suppresses the same series.
 type Metrics struct {
-	Workers      int     `json:"workers"`
-	QueueDepth   int     `json:"queue_depth"`
-	QueueCap     int     `json:"queue_cap"`
-	InFlight     int64   `json:"in_flight"`
-	Submitted    int64   `json:"submitted"`
-	Completed    int64   `json:"completed"`
-	Failed       int64   `json:"failed"`
-	Canceled     int64   `json:"canceled"`
-	Rejected429  int64   `json:"rejected_429"`
-	CacheHits    int64   `json:"cache_hits"`
-	CacheMisses  int64   `json:"cache_misses"`
-	LatencyP50MS float64 `json:"latency_p50_ms"`
-	LatencyP99MS float64 `json:"latency_p99_ms"`
-	Draining     bool    `json:"draining"`
+	Workers       int      `json:"workers"`
+	QueueDepth    int      `json:"queue_depth"`
+	QueueCap      int      `json:"queue_cap"`
+	InFlight      int64    `json:"in_flight"`
+	Submitted     int64    `json:"submitted"`
+	Completed     int64    `json:"completed"`
+	Failed        int64    `json:"failed"`
+	Canceled      int64    `json:"canceled"`
+	Rejected429   int64    `json:"rejected_429"`
+	CacheHits     int64    `json:"cache_hits"`
+	CacheMisses   int64    `json:"cache_misses"`
+	UptimeSeconds float64  `json:"uptime_seconds"`
+	LatencyP50MS  *float64 `json:"latency_p50_ms,omitempty"`
+	LatencyP99MS  *float64 `json:"latency_p99_ms,omitempty"`
+	Draining      bool     `json:"draining"`
 }
 
 // marshal is a tiny helper for event payloads that cannot fail on the

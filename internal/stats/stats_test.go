@@ -134,3 +134,44 @@ func TestPct(t *testing.T) {
 		t.Errorf("Pct = %q", got)
 	}
 }
+
+func TestPercentileEdgeCases(t *testing.T) {
+	// Empty input: 0 at every p, including the clamped extremes.
+	for _, p := range []float64{-10, 0, 50, 100, 200} {
+		if got := Percentile(nil, p); got != 0 {
+			t.Errorf("Percentile(nil, %v) = %v, want 0", p, got)
+		}
+		if got := Percentile([]float64{}, p); got != 0 {
+			t.Errorf("Percentile(empty, %v) = %v, want 0", p, got)
+		}
+	}
+	// Single element: every p collapses to that element.
+	for _, p := range []float64{-1, 0, 0.001, 50, 99.999, 100, 150} {
+		if got := Percentile([]float64{42}, p); got != 42 {
+			t.Errorf("Percentile([42], %v) = %v, want 42", p, got)
+		}
+	}
+	// p <= 0 is the minimum and p >= 100 the maximum, exactly.
+	xs := []float64{5, 1, 9, 3}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %v, want min 1", got)
+	}
+	if got := Percentile(xs, -0.5); got != 1 {
+		t.Errorf("p-0.5 = %v, want min 1", got)
+	}
+	if got := Percentile(xs, 100); got != 9 {
+		t.Errorf("p100 = %v, want max 9", got)
+	}
+	if got := Percentile(xs, 100.5); got != 9 {
+		t.Errorf("p100.5 = %v, want max 9", got)
+	}
+	// Monotone in p over a fixed sample.
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 100; p += 2.5 {
+		got := Percentile(xs, p)
+		if got < prev {
+			t.Fatalf("Percentile not monotone in p: p%v = %v < %v", p, got, prev)
+		}
+		prev = got
+	}
+}

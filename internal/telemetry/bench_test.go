@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"context"
+	"log/slog"
+	"testing"
+)
+
+// BenchmarkTelemetryOverhead measures the telemetry layer's hot-path
+// primitives — the costs an instrumented layer pays per event. The
+// disabled paths (a level-filtered log call, a nop logger) are the
+// numbers that matter for the pure-tap discipline: they bound what
+// telemetry costs when it is configured off.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	b.Run("counter-add", func(b *testing.B) {
+		c := NewRegistry().Counter("bench_total", "h")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("histogram-observe", func(b *testing.B) {
+		h := NewRegistry().Histogram("bench_seconds", "h", nil)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(0.042)
+		}
+	})
+	b.Run("gauge-set", func(b *testing.B) {
+		g := NewRegistry().Gauge("bench_gauge", "h")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g.Set(float64(i))
+		}
+	})
+	b.Run("log-disabled-level", func(b *testing.B) {
+		// A Debug call against an Info-threshold recorder: the cost of a
+		// log statement that filtering turns off.
+		log := slog.New(NewRecorder(16))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			log.LogAttrs(context.Background(), slog.LevelDebug, "filtered",
+				slog.Int("i", i))
+		}
+	})
+	b.Run("log-nop", func(b *testing.B) {
+		log := Nop()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			log.LogAttrs(context.Background(), slog.LevelInfo, "discarded",
+				slog.Int("i", i))
+		}
+	})
+	b.Run("recorder-record", func(b *testing.B) {
+		rec := NewRecorder(DefaultFlightCapacity)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rec.Record(slog.LevelInfo, "event", slog.Int("i", i))
+		}
+	})
+	b.Run("request-id", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = NewRequestID()
+		}
+	})
+}

@@ -1,0 +1,27 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+)
+
+// DumpMetrics renders the registries' Prometheus exposition to path at
+// process exit — the batch-CLI counterpart of sccserve's /metrics.prom
+// scrape endpoint. "-" writes to stdout.
+func DumpMetrics(path string, regs ...*Registry) error {
+	if path == "-" {
+		return WritePrometheus(os.Stdout, regs...)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: metrics dump: %w", err)
+	}
+	if err := WritePrometheus(f, regs...); err != nil {
+		f.Close()
+		return fmt.Errorf("telemetry: metrics dump: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("telemetry: metrics dump: %w", err)
+	}
+	return nil
+}

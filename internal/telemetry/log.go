@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync/atomic"
+)
+
+// Log flag vocabulary shared by every CLI (-log-level / -log-format).
+const (
+	LogLevels  = "debug|info|warn|error"
+	LogFormats = "text|json"
+)
+
+// ParseLevel maps a -log-level flag value to its slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want %s)", s, LogLevels)
+}
+
+// NewLogger builds the CLI logger: a leveled slog.Logger writing to w
+// with the chosen handler ("text" or "json"). Invalid level or format
+// values return an error so commands can reject the flag up front.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown log format %q (want %s)", format, LogFormats)
+}
+
+// Nop returns a logger that discards everything (all levels disabled),
+// for callers that need a non-nil *slog.Logger.
+func Nop() *slog.Logger { return slog.New(nopHandler{}) }
+
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+// ---------------------------------------------------------------------
+// Correlation IDs
+
+// ridFallback seeds request IDs when crypto/rand is unavailable
+// (never expected, but the ID must still be unique in-process).
+var ridFallback atomic.Uint64
+
+// NewRequestID mints a 16-hex-character correlation ID. The serving
+// tier stamps one on every HTTP request at admission and threads it
+// through the runner job, the harness run, and the SCC journal entries
+// the run produces, so one grep over the structured log stream
+// reconstructs a request's full lifecycle.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("rid-%012x", ridFallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// RequestIDKey is the canonical attribute name for the correlation ID
+// in structured log events.
+const RequestIDKey = "request_id"
+
+type ridCtxKey struct{}
+
+// WithRequestID returns a context carrying the correlation ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ridCtxKey{}, id)
+}
+
+// RequestIDFrom extracts the correlation ID, or "" when absent.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ridCtxKey{}).(string)
+	return id
+}
+
+// ---------------------------------------------------------------------
+// Fanout handler
+
+// Fanout tees log records to several handlers: the serving tier uses it
+// to drive the operator-facing console handler and the always-on flight
+// recorder from one *slog.Logger. Nil handlers are skipped.
+func Fanout(handlers ...slog.Handler) slog.Handler {
+	hs := make([]slog.Handler, 0, len(handlers))
+	for _, h := range handlers {
+		if h != nil {
+			hs = append(hs, h)
+		}
+	}
+	return fanoutHandler(hs)
+}
+
+type fanoutHandler []slog.Handler
+
+func (f fanoutHandler) Enabled(ctx context.Context, lv slog.Level) bool {
+	for _, h := range f {
+		if h.Enabled(ctx, lv) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f fanoutHandler) Handle(ctx context.Context, r slog.Record) error {
+	var firstErr error
+	for _, h := range f {
+		if !h.Enabled(ctx, r.Level) {
+			continue
+		}
+		if err := h.Handle(ctx, r.Clone()); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (f fanoutHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	out := make(fanoutHandler, len(f))
+	for i, h := range f {
+		out[i] = h.WithAttrs(attrs)
+	}
+	return out
+}
+
+func (f fanoutHandler) WithGroup(name string) slog.Handler {
+	out := make(fanoutHandler, len(f))
+	for i, h := range f {
+		out[i] = h.WithGroup(name)
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"regexp"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn,
+		"error": slog.LevelError, "INFO": slog.LevelInfo,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("verbose"); err == nil {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+}
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hello", "k", "v")
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("json handler output does not decode: %v (%q)", err, buf.String())
+	}
+	if doc["msg"] != "hello" || doc["k"] != "v" {
+		t.Errorf("json log = %v", doc)
+	}
+
+	buf.Reset()
+	log, err = NewLogger(&buf, "warn", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("filtered")
+	if buf.Len() != 0 {
+		t.Errorf("info event leaked past -log-level warn: %q", buf.String())
+	}
+	log.Warn("kept")
+	if buf.Len() == 0 {
+		t.Error("warn event missing at -log-level warn")
+	}
+
+	if _, err := NewLogger(&buf, "info", "yaml"); err == nil {
+		t.Error("NewLogger accepted an unknown format")
+	}
+	if _, err := NewLogger(&buf, "loud", "text"); err == nil {
+		t.Error("NewLogger accepted an unknown level")
+	}
+}
+
+func TestNopLoggerDisabled(t *testing.T) {
+	log := Nop()
+	if log.Enabled(context.Background(), slog.LevelError) {
+		t.Error("Nop logger reports Error enabled")
+	}
+	log.Error("goes nowhere") // must not panic
+}
+
+func TestRequestIDs(t *testing.T) {
+	re := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewRequestID()
+		if !re.MatchString(id) {
+			t.Fatalf("request id %q is not 16 hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate request id %q", id)
+		}
+		seen[id] = true
+	}
+
+	ctx := WithRequestID(context.Background(), "deadbeef00000000")
+	if got := RequestIDFrom(ctx); got != "deadbeef00000000" {
+		t.Errorf("RequestIDFrom = %q", got)
+	}
+	if got := RequestIDFrom(context.Background()); got != "" {
+		t.Errorf("RequestIDFrom(empty ctx) = %q, want empty", got)
+	}
+}

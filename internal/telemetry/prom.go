@@ -1,0 +1,194 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the exposition-format content type for HTTP
+// responses serving WritePrometheus output.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// formatFloat renders a sample value the way Prometheus expects:
+// shortest round-trip representation, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the registries in Prometheus text exposition
+// format (version 0.0.4): every instrument gets # HELP and # TYPE
+// headers followed by its sample lines, sorted by metric name within
+// each registry. Instruments that currently report no samples (e.g. a
+// suppressed GaugeFunc) are omitted entirely — headers included — so a
+// scrape never sees a fabricated zero.
+func WritePrometheus(w io.Writer, regs ...*Registry) error {
+	bw := bufio.NewWriter(w)
+	var scratch []sample
+	for _, r := range regs {
+		if r == nil {
+			continue
+		}
+		for _, m := range r.snapshotMetrics() {
+			scratch = m.samples(scratch[:0])
+			if len(scratch) == 0 {
+				continue
+			}
+			if help := m.metricHelp(); help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", m.metricName(), escapeHelp(help))
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", m.metricName(), m.metricType())
+			for _, s := range scratch {
+				fmt.Fprintf(bw, "%s %s\n", s.series, formatFloat(s.value))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition spec.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Exposition is a parsed Prometheus text document: sample values keyed
+// by full series (name plus any label set, verbatim) and the declared
+// TYPE per metric name.
+type Exposition struct {
+	Samples map[string]float64
+	Types   map[string]string
+}
+
+// ParseExposition parses and validates a Prometheus text-format
+// document. It enforces the structural rules a scraper relies on:
+// sample lines must be `series value`, every sample must be covered by
+// a preceding # TYPE header for its metric family (histogram series
+// match their _bucket/_sum/_count suffixes), metric names must use the
+// legal charset, and values must parse as floats. It returns the parsed
+// samples so callers can additionally assert semantic properties, such
+// as counters being monotonic across two scrapes.
+func ParseExposition(b []byte) (*Exposition, error) {
+	exp := &Exposition{
+		Samples: make(map[string]float64),
+		Types:   make(map[string]string),
+	}
+	for ln, line := range strings.Split(string(b), "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, ok := parseHeader(line)
+			if !ok {
+				continue // arbitrary comment: legal, ignored
+			}
+			if !validName(name) {
+				return nil, fmt.Errorf("line %d: invalid metric name %q in %s header", lineNo, name, kind)
+			}
+			if kind == "TYPE" {
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown TYPE %q for %s", lineNo, rest, name)
+				}
+				if _, dup := exp.Types[name]; dup {
+					return nil, fmt.Errorf("line %d: duplicate TYPE header for %s", lineNo, name)
+				}
+				exp.Types[name] = rest
+			}
+			continue
+		}
+		series, valueStr, ok := splitSample(line)
+		if !ok {
+			return nil, fmt.Errorf("line %d: malformed sample line %q", lineNo, line)
+		}
+		name := seriesMetricName(series)
+		if !validName(name) {
+			return nil, fmt.Errorf("line %d: invalid metric name in series %q", lineNo, series)
+		}
+		v, err := strconv.ParseFloat(valueStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad value %q: %v", lineNo, valueStr, err)
+		}
+		if _, dup := exp.Samples[series]; dup {
+			return nil, fmt.Errorf("line %d: duplicate series %q", lineNo, series)
+		}
+		if familyType(exp.Types, name) == "" {
+			return nil, fmt.Errorf("line %d: series %q has no preceding TYPE header", lineNo, series)
+		}
+		exp.Samples[series] = v
+	}
+	return exp, nil
+}
+
+// parseHeader splits "# HELP name text" / "# TYPE name kind".
+func parseHeader(line string) (kind, name, rest string, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || fields[0] != "#" {
+		return "", "", "", false
+	}
+	if fields[1] != "HELP" && fields[1] != "TYPE" {
+		return "", "", "", false
+	}
+	return fields[1], fields[2], strings.Join(fields[3:], " "), true
+}
+
+// splitSample splits a sample line into series and value, honoring a
+// label set that may contain spaces inside quoted values.
+func splitSample(line string) (series, value string, ok bool) {
+	// The value is the last whitespace-separated token after the series;
+	// a label set ends at '}', so split on the space after it if present.
+	if i := strings.LastIndexByte(line, '}'); i >= 0 {
+		rest := strings.TrimSpace(line[i+1:])
+		if rest == "" || strings.ContainsAny(rest, " \t") {
+			// Possibly "value timestamp"; take the first token as value.
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				return "", "", false
+			}
+			return line[:i+1], fields[0], true
+		}
+		return line[:i+1], rest, true
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return "", "", false
+	}
+	return fields[0], fields[1], true
+}
+
+// seriesMetricName strips the label set from a series.
+func seriesMetricName(series string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i]
+	}
+	return series
+}
+
+// familyType resolves the declared TYPE covering a sample name,
+// accounting for histogram/summary suffix series.
+func familyType(types map[string]string, name string) string {
+	if t, ok := types[name]; ok {
+		return t
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if t := types[base]; t == "histogram" || t == "summary" {
+				return t
+			}
+		}
+	}
+	return ""
+}

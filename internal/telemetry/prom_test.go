@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func buildTestRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("app_events_total", "Total events.").Add(7)
+	r.Gauge("app_depth", "Queue depth.").Set(3)
+	r.Histogram("app_latency_seconds", "Latency.", []float64{0.01, 0.1}).Observe(0.05)
+	r.GaugeFunc("app_uptime_seconds", "Uptime.", func() (float64, bool) { return 12.5, true })
+	return r
+}
+
+func TestWritePrometheusRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, buildTestRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	exp, err := ParseExposition(buf.Bytes())
+	if err != nil {
+		t.Fatalf("generated exposition does not validate: %v\n%s", err, out)
+	}
+	for series, want := range map[string]float64{
+		"app_events_total":                      7,
+		"app_depth":                             3,
+		"app_uptime_seconds":                    12.5,
+		`app_latency_seconds_bucket{le="0.01"}`: 0,
+		`app_latency_seconds_bucket{le="0.1"}`:  1,
+		`app_latency_seconds_bucket{le="+Inf"}`: 1,
+		"app_latency_seconds_count":             1,
+	} {
+		if exp.Samples[series] != want {
+			t.Errorf("%s = %v, want %v", series, exp.Samples[series], want)
+		}
+	}
+	for name, typ := range map[string]string{
+		"app_events_total":    "counter",
+		"app_depth":           "gauge",
+		"app_latency_seconds": "histogram",
+		"app_uptime_seconds":  "gauge",
+	} {
+		if exp.Types[name] != typ {
+			t.Errorf("TYPE %s = %q, want %q", name, exp.Types[name], typ)
+		}
+	}
+
+	// Every TYPE header must precede its samples and have a HELP line.
+	for _, name := range []string{"app_events_total", "app_depth", "app_latency_seconds"} {
+		if !strings.Contains(out, "# HELP "+name+" ") {
+			t.Errorf("missing HELP header for %s", name)
+		}
+	}
+
+	// Metric families render sorted by name.
+	if strings.Index(out, "app_depth") > strings.Index(out, "app_events_total") {
+		t.Error("exposition is not sorted by metric name")
+	}
+}
+
+func TestWritePrometheusMultipleRegistries(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("a_total", "a").Inc()
+	b := NewRegistry()
+	b.Counter("b_total", "b").Inc()
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, a, b, nil); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ParseExposition(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Samples["a_total"] != 1 || exp.Samples["b_total"] != 1 {
+		t.Errorf("multi-registry render missing samples: %v", exp.Samples)
+	}
+}
+
+func TestParseExpositionRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE":  "orphan_metric 1\n",
+		"malformed line":       "# TYPE x counter\nx\n",
+		"bad value":            "# TYPE x counter\nx notanumber\n",
+		"unknown TYPE":         "# TYPE x matrix\nx 1\n",
+		"duplicate series":     "# TYPE x counter\nx 1\nx 2\n",
+		"duplicate TYPE":       "# TYPE x counter\n# TYPE x counter\nx 1\n",
+		"invalid name in TYPE": "# TYPE 9x counter\n9x 1\n",
+	}
+	for name, doc := range cases {
+		if _, err := ParseExposition([]byte(doc)); err == nil {
+			t.Errorf("%s: ParseExposition accepted %q", name, doc)
+		}
+	}
+}
+
+func TestParseExpositionAcceptsComments(t *testing.T) {
+	doc := "# just a comment\n# TYPE ok_total counter\n# HELP ok_total fine\nok_total 3\n"
+	exp, err := ParseExposition([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Samples["ok_total"] != 3 {
+		t.Errorf("ok_total = %v, want 3", exp.Samples["ok_total"])
+	}
+}
+
+func TestFormatFloatSpecials(t *testing.T) {
+	for in, want := range map[float64]string{42: "42", 0.25: "0.25"} {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

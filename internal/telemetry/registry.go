@@ -1,0 +1,299 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// A Registry holds a named set of instruments and renders them as
+// Prometheus text exposition. Registration is get-or-create and
+// idempotent: asking for an existing name with the same instrument type
+// returns the existing handle (so independent layers can share a
+// registry without coordinating), while a type conflict panics — that
+// is a programming error, not a runtime condition.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]metric)}
+}
+
+// metric is the rendering contract every instrument satisfies.
+type metric interface {
+	metricName() string
+	metricHelp() string
+	metricType() string // "counter" | "gauge" | "histogram"
+	// samples appends the instrument's exposition lines (without HELP or
+	// TYPE headers); an instrument with nothing to report appends none
+	// and the renderer suppresses its headers too.
+	samples(dst []sample) []sample
+}
+
+// sample is one exposition line: series name (with any label set
+// preformatted into it) and value.
+type sample struct {
+	series string
+	value  float64
+}
+
+// validName enforces the Prometheus metric-name charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// register get-or-creates an instrument under name, panicking on an
+// invalid name or a type conflict with an existing registration.
+func (r *Registry) register(name string, create func() metric) metric {
+	if !validName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		want := create()
+		if m.metricType() != want.metricType() {
+			panic(fmt.Sprintf("telemetry: metric %q already registered as a %s, requested as a %s",
+				name, m.metricType(), want.metricType()))
+		}
+		return m
+	}
+	m := create()
+	r.metrics[name] = m
+	return m
+}
+
+// snapshotMetrics returns the registered instruments sorted by name.
+func (r *Registry) snapshotMetrics() []metric {
+	r.mu.RLock()
+	out := make([]metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		out = append(out, m)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].metricName() < out[j].metricName() })
+	return out
+}
+
+// Snapshot returns every current exposition sample keyed by series name
+// (histogram buckets include their le label). Intended for tests and
+// ad-hoc inspection; the hot path never calls it.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64)
+	for _, m := range r.snapshotMetrics() {
+		for _, s := range m.samples(nil) {
+			out[s.series] = s.value
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Counter
+
+// Counter is a monotonically nondecreasing count. Add and Inc are
+// lock-free atomic operations; negative deltas are ignored to preserve
+// monotonicity.
+type Counter struct {
+	v    atomic.Int64
+	name string
+	help string
+}
+
+// Counter get-or-creates a counter. By Prometheus convention the name
+// should end in _total.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, func() metric { return &Counter{name: name, help: help} }).(*Counter)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n < 0 is ignored: counters are monotone).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) metricName() string { return c.name }
+func (c *Counter) metricHelp() string { return c.help }
+func (c *Counter) metricType() string { return "counter" }
+func (c *Counter) samples(dst []sample) []sample {
+	return append(dst, sample{c.name, float64(c.v.Load())})
+}
+
+// ---------------------------------------------------------------------
+// Gauge
+
+// atomicFloat64 is a CAS-updated float64 for lock-free gauge and
+// histogram-sum arithmetic.
+type atomicFloat64 struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat64) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+func (f *atomicFloat64) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
+func (f *atomicFloat64) add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v    atomicFloat64
+	name string
+	help string
+}
+
+// Gauge get-or-creates a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, func() metric { return &Gauge{name: name, help: help} }).(*Gauge)
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.v.store(v) }
+
+// Add shifts the gauge by delta (negative allowed).
+func (g *Gauge) Add(delta float64) { g.v.add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.load() }
+
+func (g *Gauge) metricName() string { return g.name }
+func (g *Gauge) metricHelp() string { return g.help }
+func (g *Gauge) metricType() string { return "gauge" }
+func (g *Gauge) samples(dst []sample) []sample {
+	return append(dst, sample{g.name, g.v.load()})
+}
+
+// gaugeFunc is a computed gauge; the callback's second return suppresses
+// the series entirely when false (e.g. a latency percentile with no
+// samples yet — rendering 0 would be indistinguishable from a real 0).
+type gaugeFunc struct {
+	fn   func() (float64, bool)
+	name string
+	help string
+}
+
+// GaugeFunc registers a computed gauge. fn is called at render time; a
+// false second return suppresses the series for that render (used for
+// values that are meaningless before any observation exists).
+func (r *Registry) GaugeFunc(name, help string, fn func() (float64, bool)) {
+	r.register(name, func() metric { return &gaugeFunc{name: name, help: help, fn: fn} })
+}
+
+func (g *gaugeFunc) metricName() string { return g.name }
+func (g *gaugeFunc) metricHelp() string { return g.help }
+func (g *gaugeFunc) metricType() string { return "gauge" }
+func (g *gaugeFunc) samples(dst []sample) []sample {
+	v, ok := g.fn()
+	if !ok {
+		return dst
+	}
+	return append(dst, sample{g.name, v})
+}
+
+// ---------------------------------------------------------------------
+// Histogram
+
+// DefBuckets is the default latency bucket ladder in seconds, spanning
+// sub-millisecond cache hits through multi-second simulations.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// Histogram is a fixed-bucket distribution. Observe is lock-free and
+// allocation-free: a linear scan over the (small) bound ladder plus
+// three atomic adds, so it is safe on per-job hot paths.
+type Histogram struct {
+	name   string
+	help   string
+	bounds []float64 // upper bounds, strictly increasing; +Inf implicit
+	counts []atomic.Int64
+	sum    atomicFloat64
+	count  atomic.Int64
+}
+
+// Histogram get-or-creates a histogram with the given upper bounds
+// (nil = DefBuckets). Bounds must be strictly increasing.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %q bounds not strictly increasing", name))
+		}
+	}
+	return r.register(name, func() metric {
+		return &Histogram{
+			name: name, help: help,
+			bounds: bounds,
+			counts: make([]atomic.Int64, len(bounds)+1), // +1: the +Inf bucket
+		}
+	}).(*Histogram)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.load() }
+
+func (h *Histogram) metricName() string { return h.name }
+func (h *Histogram) metricHelp() string { return h.help }
+func (h *Histogram) metricType() string { return "histogram" }
+func (h *Histogram) samples(dst []sample) []sample {
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		dst = append(dst, sample{fmt.Sprintf("%s_bucket{le=%q}", h.name, le), float64(cum)})
+	}
+	dst = append(dst, sample{h.name + "_sum", h.sum.load()})
+	dst = append(dst, sample{h.name + "_count", float64(h.count.Load())})
+	return dst
+}

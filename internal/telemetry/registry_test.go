@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_events_total", "events")
+	c.Inc()
+	c.Add(4)
+	c.Add(-100) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("test_depth", "depth")
+	g.Set(3)
+	g.Add(-1.5)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestRegisterIsGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_total", "h")
+	b := r.Counter("test_total", "h")
+	if a != b {
+		t.Error("re-registering the same counter returned a different handle")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("registering an existing name as a different type did not panic")
+		}
+	}()
+	r.Gauge("test_total", "h")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid metric name did not panic")
+		}
+	}()
+	NewRegistry().Counter("9bad name", "h")
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 55.65; got != want {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+	snap := r.Snapshot()
+	// Cumulative buckets: <=0.1 holds 2 (0.05 and the boundary 0.1),
+	// <=1 holds 3, <=10 holds 4, +Inf holds all 5.
+	for series, want := range map[string]float64{
+		`test_seconds_bucket{le="0.1"}`:  2,
+		`test_seconds_bucket{le="1"}`:    3,
+		`test_seconds_bucket{le="10"}`:   4,
+		`test_seconds_bucket{le="+Inf"}`: 5,
+		"test_seconds_count":             5,
+	} {
+		if snap[series] != want {
+			t.Errorf("%s = %v, want %v", series, snap[series], want)
+		}
+	}
+}
+
+func TestGaugeFuncSuppression(t *testing.T) {
+	r := NewRegistry()
+	ok := false
+	v := 0.0
+	r.GaugeFunc("test_p99", "p99", func() (float64, bool) { return v, ok })
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "test_p99") {
+		t.Errorf("suppressed gauge leaked into exposition:\n%s", buf.String())
+	}
+
+	ok, v = true, 42
+	buf.Reset()
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "test_p99 42\n") {
+		t.Errorf("gauge missing after samples exist:\n%s", buf.String())
+	}
+}
+
+func TestConcurrentInstrumentsRace(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("race_total", "h")
+	g := r.Gauge("race_gauge", "h")
+	h := r.Histogram("race_seconds", "h", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i) * 0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || g.Value() != 8000 || h.Count() != 8000 {
+		t.Errorf("counter=%d gauge=%v histogram=%d, want 8000 each",
+			c.Value(), g.Value(), h.Count())
+	}
+}
