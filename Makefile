@@ -5,7 +5,7 @@ GO ?= go
 
 .PHONY: all build test check bench bench-json diff figures fig6 fig7 fig8 \
         fig9 fig10 fig11 table1 overhead examples serve serve-smoke \
-        telemetry-race loadgen clean
+        telemetry-race trace-race loadgen clean
 
 all: build test
 
@@ -62,7 +62,9 @@ serve:
 # byte-identical manifest), checks /healthz and /metrics, scrapes
 # /metrics.prom twice and validates the Prometheus exposition (line
 # syntax, TYPE/HELP coverage, counters monotonic across the scrapes),
-# checks the /debug/flight ring, and drains cleanly. Wired into CI
+# checks the /debug/flight ring, verifies the tracing contract
+# (traceparent echo, well-formed span tree, exemplar→trace link,
+# byte-stable normalized exports), and drains cleanly. Wired into CI
 # after make check.
 serve-smoke:
 	$(GO) run ./cmd/sccserve -smoke
@@ -72,6 +74,12 @@ serve-smoke:
 # (make check runs -race repo-wide; this is the quick targeted slice).
 telemetry-race:
 	$(GO) test -race ./internal/telemetry ./internal/serve ./internal/stats
+
+# Tracing-focused race gate: the span subsystem plus the two tiers that
+# start spans concurrently (the serve worker pool and the harness sweep
+# scheduler) under the race detector.
+trace-race:
+	$(GO) test -race ./internal/tracing ./internal/harness ./internal/serve
 
 # Service-level determinism SLO: hammer an in-process sccserve with
 # concurrent mixed-config requests and assert every manifest is

@@ -77,6 +77,36 @@ func TestCLIRejectsInvalidLogLevel(t *testing.T) {
 	}
 }
 
+// TestCLIRejectsNonPositiveFlightCapacity: a zero or negative flight
+// recorder ring would drop every event silently (the SIGQUIT dump and
+// /debug/flight would always be empty), so sccserve rejects it up front
+// as a usage error instead of serving with a dead recorder.
+func TestCLIRejectsNonPositiveFlightCapacity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI builds in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	for _, bad := range []string{"0", "-4"} {
+		bad := bad
+		t.Run(bad, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", "./cmd/sccserve",
+				"-flight-capacity", bad, "-addr", "127.0.0.1:0").CombinedOutput()
+			if err == nil {
+				t.Fatalf("sccserve accepted -flight-capacity %s:\n%s", bad, out)
+			}
+			if !strings.Contains(string(out), "exit status 2") {
+				t.Errorf("sccserve did not exit with usage error 2:\n%s", out)
+			}
+			if !strings.Contains(string(out), "-flight-capacity must be >= 1") {
+				t.Errorf("sccserve stderr missing the -flight-capacity message:\n%s", out)
+			}
+		})
+	}
+}
+
 // TestCLIRejectsInvalidLogFormat does the same for -log-format.
 func TestCLIRejectsInvalidLogFormat(t *testing.T) {
 	if testing.Short() {

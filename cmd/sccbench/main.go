@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +36,7 @@ import (
 	"sccsim/internal/harness"
 	"sccsim/internal/obs"
 	"sccsim/internal/telemetry"
+	"sccsim/internal/tracing"
 	"sccsim/internal/workloads"
 )
 
@@ -57,6 +59,7 @@ func run() int {
 			"concurrent in-flight loadgen requests")
 
 		jsonDir    = flag.String("json", "", "write one JSON manifest per run (plus index.json) into this directory")
+		traceOut   = flag.String("trace-out", "", "write the sweeps' span trees as OTLP-compatible JSON to this path (one root span per sweep, one child per scheduled run)")
 		cacheDir   = flag.String("cache", "", "result-cache directory: reuse matching manifests instead of re-simulating, write back misses (any -json output directory works)")
 		tracePath  = flag.String("trace", "", "write a Chrome trace-event (Perfetto) file of the sweeps to this path")
 		sampleIv   = flag.Uint64("sample-interval", 10_000, "telemetry sampling interval in committed uops (with -json/-trace)")
@@ -149,9 +152,21 @@ func run() int {
 		}
 	}
 
+	var spanTracer *tracing.Tracer
+	if *traceOut != "" {
+		spanTracer = tracing.New(tracing.MintTraceID())
+	}
+
 	runExp := func(name string, fn func() (*sccsim.SweepSummary, error)) bool {
 		t0 := time.Now()
 		art.begin(name)
+		if spanTracer != nil {
+			// One root span per sweep; every scheduled run's harness.run
+			// span hangs under it via the options context.
+			root := spanTracer.StartSpan("sweep:"+name, tracing.SpanID{})
+			opts.Ctx = tracing.NewContext(context.Background(), spanTracer, root)
+			defer root.End()
+		}
 		sum, err := fn()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sccbench: %s: %v\n", name, err)
@@ -262,6 +277,20 @@ func run() int {
 	if *cacheDir != "" {
 		fmt.Fprintf(os.Stderr, "sccbench: result cache %s: %d/%d runs served from cache\n",
 			*cacheDir, cacheHits, cacheRuns)
+	}
+	if spanTracer != nil {
+		spanTracer.Finish()
+		if err := tracing.WriteOTLPFile(*traceOut, "sccbench", spanTracer.Spans()); err != nil {
+			fmt.Fprintf(os.Stderr, "sccbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "sccbench: wrote span trace %s (trace id %s)\n",
+			*traceOut, spanTracer.TraceID())
+		if *tracePath != "" {
+			// The sweeps' span trees also merge into the Chrome trace as
+			// their own lane, alongside the per-sweep worker processes.
+			art.trace.AddSpanLane(0, "spans", spanTracer.Spans())
+		}
 	}
 	return art.flush(*tracePath)
 }

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -53,8 +54,10 @@ func run() int {
 			"how long SIGINT/SIGTERM waits for in-flight jobs before aborting them")
 		addrFile = flag.String("addr-file", "",
 			"write the bound listen address to this file once serving (for scripts using port 0)")
-		smoke   = flag.Bool("smoke", false, "run the self-contained service smoke sequence and exit")
-		version = flag.Bool("version", false, "print the simulator version and exit")
+		smoke      = flag.Bool("smoke", false, "run the self-contained service smoke sequence and exit")
+		version    = flag.Bool("version", false, "print the simulator version and exit")
+		debugPprof = flag.Bool("debug-pprof", false,
+			"expose net/http/pprof profiling handlers under /debug/pprof/ (off by default; enables live CPU/heap/goroutine profiling)")
 
 		logLevel  = flag.String("log-level", "info", "structured log threshold on stderr: "+telemetry.LogLevels)
 		logFormat = flag.String("log-format", "text", "structured log encoding: "+telemetry.LogFormats)
@@ -73,6 +76,10 @@ func run() int {
 	}
 	if *workers < 0 {
 		fmt.Fprintf(os.Stderr, "sccserve: -workers must be >= 0 (0 = GOMAXPROCS), got %d\n", *workers)
+		return 2
+	}
+	if *flightCap <= 0 {
+		fmt.Fprintf(os.Stderr, "sccserve: -flight-capacity must be >= 1, got %d\n", *flightCap)
 		return 2
 	}
 	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
@@ -121,7 +128,23 @@ func run() int {
 		}
 	}
 
-	hs := &http.Server{Handler: srv}
+	// pprof is opt-in: the service listener doubles as a profiling port
+	// only when asked, so a production deployment never exposes profile
+	// handlers by accident.
+	var handler http.Handler = srv
+	if *debugPprof {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", srv)
+		handler = mux
+		fmt.Fprintf(os.Stderr, "sccserve: pprof handlers enabled at http://%s/debug/pprof/\n", bound)
+	}
+
+	hs := &http.Server{Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
 

@@ -8,17 +8,20 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"sccsim/internal/serve"
 	"sccsim/internal/telemetry"
+	"sccsim/internal/tracing"
 )
 
 // smokeMaxUops keeps the smoke jobs reduced-scale so CI stays fast.
@@ -131,6 +134,13 @@ func smoke(workers, queue int) error {
 	// The flight recorder must have captured the life of the jobs above.
 	if err := smokeFlight(client, base); err != nil {
 		return fmt.Errorf("debug/flight: %w", err)
+	}
+
+	// End-to-end tracing: traceparent echo, a well-formed span tree, the
+	// latency exemplar resolving to a retrievable trace, and byte-stable
+	// normalized exports across identical runs.
+	if err := smokeTrace(client, base); err != nil {
+		return fmt.Errorf("tracing: %w", err)
 	}
 
 	// Clean shutdown: drain refuses new work, then the pool stops.
@@ -249,6 +259,222 @@ func smokeFlight(client *http.Client, base string) error {
 	}
 	fmt.Printf("smoke: flight recorder ok (%d events captured)\n", dump.Total)
 	return nil
+}
+
+// smokeTrace exercises the tracing contract over real HTTP. The job
+// body is distinct from the rest of the smoke traffic so the run is
+// cold and walks the full request path: queue wait, worker pickup,
+// harness, finalize.
+func smokeTrace(client *http.Client, base string) error {
+	const (
+		inbound    = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+		inboundTID = "4bf92f3577b34da6a3ce929d0e0e4736"
+		inboundSID = "00f067aa0ba902b7"
+		traceBody  = `{"workload":"mcf","max_uops":20000,"sample_every":8000,"wait":true}`
+	)
+
+	// Inbound traceparent: the service joins the caller's trace and
+	// echoes the trace id with its own root span id.
+	st, echo, err := submitTraced(client, base, traceBody, inbound)
+	if err != nil {
+		return fmt.Errorf("traced submit: %w", err)
+	}
+	tid, sid, ok := tracing.ParseTraceparent(echo)
+	if !ok {
+		return fmt.Errorf("response traceparent %q does not parse", echo)
+	}
+	if tid.String() != inboundTID {
+		return fmt.Errorf("echoed trace id %s, want the inbound %s", tid, inboundTID)
+	}
+	if sid.String() == inboundSID {
+		return fmt.Errorf("echoed span id is the caller's parent, want the service root span")
+	}
+	if st.TraceID != inboundTID {
+		return fmt.Errorf("job status trace_id = %q, want %s", st.TraceID, inboundTID)
+	}
+
+	// The span tree behind the trace endpoint must be well-formed —
+	// exactly one root, no orphan parents, children nested within their
+	// parents — and cover every request-path stage.
+	raw, err := fetch(client, base+"/v1/jobs/"+st.ID+"/trace")
+	if err != nil {
+		return err
+	}
+	spans, err := decodeOTLPSpans(raw)
+	if err != nil {
+		return err
+	}
+	if err := tracing.ValidateTree(spans); err != nil {
+		return fmt.Errorf("span tree: %w", err)
+	}
+	have := map[string]bool{}
+	for _, sp := range spans {
+		have[sp.Name] = true
+	}
+	for _, want := range []string{
+		"request", "admission.validate", "cache.probe", "queue.wait",
+		"worker.run", "harness.run", "harness.simulate", "serve.finalize",
+	} {
+		if !have[want] {
+			return fmt.Errorf("span %q missing from the request trace", want)
+		}
+	}
+
+	// Tail-latency attribution: each latency bucket keeps its most recent
+	// exemplar, so the traced job's id must appear among them — the link
+	// an operator follows from a histogram bucket to the trace (just
+	// proven retrievable above).
+	promRaw, err := fetch(client, base+"/metrics.prom")
+	if err != nil {
+		return err
+	}
+	exp, err := telemetry.ParseExposition(promRaw)
+	if err != nil {
+		return err
+	}
+	exemplars := 0
+	linked := false
+	for series, ex := range exp.Exemplars {
+		if !strings.HasPrefix(series, "sccserve_job_latency_seconds_bucket") {
+			continue
+		}
+		exemplars++
+		if ex.Labels["trace_id"] == st.TraceID {
+			linked = true
+		}
+	}
+	if exemplars == 0 {
+		return fmt.Errorf("no trace_id exemplar on the latency histogram")
+	}
+	if !linked {
+		return fmt.Errorf("no latency exemplar names the traced job's id %q", st.TraceID)
+	}
+
+	// Determinism: identical cold submissions under the same inbound
+	// traceparent export byte-identical normalized trace documents —
+	// each run on a fresh service with its own empty cache.
+	a, err := normalizedTraceRun(client, traceBody, inbound)
+	if err != nil {
+		return err
+	}
+	b, err := normalizedTraceRun(client, traceBody, inbound)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(a, b) {
+		return fmt.Errorf("normalized traces differ across identical runs (%d vs %d bytes)", len(a), len(b))
+	}
+	fmt.Printf("smoke: tracing ok (%d spans, %d latency exemplars, normalized export %d bytes stable)\n",
+		len(spans), exemplars, len(a))
+	return nil
+}
+
+// normalizedTraceRun boots a fresh single-worker service with an empty
+// cache, runs one traced job, and returns its normalized trace export.
+func normalizedTraceRun(client *http.Client, body, traceparent string) ([]byte, error) {
+	cache, err := os.MkdirTemp("", "sccserve-smoke-trace-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(cache)
+	srv := serve.New(serve.Config{Workers: 1, QueueDepth: 8, CacheDir: cache})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer hs.Close()
+	b := "http://" + ln.Addr().String()
+	st, _, err := submitTraced(client, b, body, traceparent)
+	if err != nil {
+		return nil, err
+	}
+	return fetch(client, b+"/v1/jobs/"+st.ID+"/trace?normalize=1")
+}
+
+// decodeOTLPSpans parses a trace-endpoint OTLP JSON document back into
+// SpanData so ValidateTree can check it — the same structural contract
+// any external OTLP consumer relies on.
+func decodeOTLPSpans(raw []byte) ([]tracing.SpanData, error) {
+	var doc struct {
+		ResourceSpans []struct {
+			ScopeSpans []struct {
+				Spans []struct {
+					TraceID      string `json:"traceId"`
+					SpanID       string `json:"spanId"`
+					ParentSpanID string `json:"parentSpanId"`
+					Name         string `json:"name"`
+					Start        string `json:"startTimeUnixNano"`
+					End          string `json:"endTimeUnixNano"`
+				} `json:"spans"`
+			} `json:"scopeSpans"`
+		} `json:"resourceSpans"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("trace document does not parse: %w", err)
+	}
+	var out []tracing.SpanData
+	for _, rs := range doc.ResourceSpans {
+		for _, ss := range rs.ScopeSpans {
+			for _, sp := range ss.Spans {
+				var sd tracing.SpanData
+				sd.Name = sp.Name
+				if _, err := hex.Decode(sd.TraceID[:], []byte(sp.TraceID)); err != nil {
+					return nil, fmt.Errorf("span %q trace id %q: %w", sp.Name, sp.TraceID, err)
+				}
+				if _, err := hex.Decode(sd.SpanID[:], []byte(sp.SpanID)); err != nil {
+					return nil, fmt.Errorf("span %q span id %q: %w", sp.Name, sp.SpanID, err)
+				}
+				if sp.ParentSpanID != "" {
+					if _, err := hex.Decode(sd.ParentID[:], []byte(sp.ParentSpanID)); err != nil {
+						return nil, fmt.Errorf("span %q parent id %q: %w", sp.Name, sp.ParentSpanID, err)
+					}
+				}
+				for _, f := range []struct {
+					nanos string
+					dst   *time.Time
+				}{{sp.Start, &sd.Start}, {sp.End, &sd.End}} {
+					ns, err := strconv.ParseInt(f.nanos, 10, 64)
+					if err != nil {
+						return nil, fmt.Errorf("span %q timestamp %q: %w", sp.Name, f.nanos, err)
+					}
+					*f.dst = time.Unix(0, ns)
+				}
+				out = append(out, sd)
+			}
+		}
+	}
+	return out, nil
+}
+
+// submitTraced is submit plus an inbound traceparent header; it returns
+// the job status and the echoed traceparent.
+func submitTraced(client *http.Client, base, body, traceparent string) (*serve.JobStatus, string, error) {
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", strings.NewReader(body))
+	if err != nil {
+		return nil, "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(tracing.TraceparentHeader, traceparent)
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("POST /v1/jobs = %d: %s", resp.StatusCode, raw)
+	}
+	var st serve.JobStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return nil, "", err
+	}
+	return &st, resp.Header.Get(tracing.TraceparentHeader), nil
 }
 
 func submit(client *http.Client, base, body string) (*serve.JobStatus, error) {

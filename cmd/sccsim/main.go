@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +32,7 @@ import (
 	"sccsim/internal/scc"
 	"sccsim/internal/stats"
 	"sccsim/internal/telemetry"
+	"sccsim/internal/tracing"
 	"sccsim/internal/workloads"
 )
 
@@ -59,6 +61,7 @@ func run() int {
 		pipeview  = flag.String("pipeview", "", "write a per-uop pipeline lifecycle trace (gem5 O3PipeView format, opens in Konata) to this path")
 		pipeviewN = flag.Int("pipeview-limit", obs.DefaultPipeTraceLimit,
 			"retain the last N micro-ops in the -pipeview trace")
+		traceOut   = flag.String("trace-out", "", "write the run's span tree as OTLP-compatible JSON to this path")
 		sampleIv   = flag.Uint64("sample-interval", 10_000, "telemetry sampling interval in committed uops (with -json/-trace)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the simulator to this path")
 		memProfile = flag.String("memprofile", "", "write a heap profile of the simulator to this path")
@@ -133,6 +136,12 @@ func run() int {
 		tracer = obs.NewPipeTracer(*pipeviewN)
 		opts.Observe = tracer.Attach
 	}
+	var spanTracer *tracing.Tracer
+	if *traceOut != "" {
+		spanTracer = tracing.New(tracing.MintTraceID())
+		root := spanTracer.StartSpan("sccsim", tracing.SpanID{})
+		opts.Ctx = tracing.NewContext(context.Background(), spanTracer, root)
+	}
 	var res *harness.RunResult
 	var sum *runner.Summary
 	switch {
@@ -154,7 +163,18 @@ func run() int {
 		return 1
 	}
 	report(res, *verbose)
-	if err := writeArtifacts(res, sum, *jsonPath, *tracePath); err != nil {
+	var spans []tracing.SpanData
+	if spanTracer != nil {
+		spanTracer.Finish()
+		spans = spanTracer.Spans()
+		if err := tracing.WriteOTLPFile(*traceOut, "sccsim", spans); err != nil {
+			fmt.Fprintf(os.Stderr, "sccsim: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "sccsim: wrote span trace %s (trace id %s)\n",
+			*traceOut, spanTracer.TraceID())
+	}
+	if err := writeArtifacts(res, sum, *jsonPath, *tracePath, spans); err != nil {
 		fmt.Fprintf(os.Stderr, "sccsim: %v\n", err)
 		return 1
 	}
@@ -180,7 +200,9 @@ func run() int {
 }
 
 // writeArtifacts emits the -json manifest and -trace file for the run.
-func writeArtifacts(res *harness.RunResult, sum *runner.Summary, jsonPath, tracePath string) error {
+// spans, when non-empty (the -trace-out tracer ran), merge into the
+// Chrome trace as a dedicated span lane next to the worker lanes.
+func writeArtifacts(res *harness.RunResult, sum *runner.Summary, jsonPath, tracePath string, spans []tracing.SpanData) error {
 	if jsonPath != "" {
 		man := res.Manifest()
 		if sum != nil && len(sum.Jobs) > 0 {
@@ -203,6 +225,7 @@ func writeArtifacts(res *harness.RunResult, sum *runner.Summary, jsonPath, trace
 		if len(res.JobSlices) > 0 && sum != nil && len(sum.Jobs) > 0 && res.Stats != nil {
 			tr.AddSCCLane(1, sum.Jobs[0], res.Stats.Cycles, res.JobSlices)
 		}
+		tr.AddSpanLane(1, "spans", spans)
 		if err := tr.WriteFile(tracePath); err != nil {
 			return err
 		}

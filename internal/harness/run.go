@@ -20,6 +20,7 @@ import (
 	"sccsim/internal/power"
 	"sccsim/internal/runner"
 	"sccsim/internal/scc"
+	"sccsim/internal/tracing"
 	"sccsim/internal/workloads"
 )
 
@@ -72,6 +73,10 @@ func (r *RunResult) CommittedUopCount() uint64 {
 
 // Options tunes experiment runs.
 type Options struct {
+	// Ctx, when non-nil, is the root context for sweeps: it carries
+	// cancellation and — when bound with tracing.NewContext — the trace
+	// context every run's span tree hangs under. nil means Background.
+	Ctx context.Context
 	// MaxUops overrides every workload's default interval length
 	// (0 keeps the defaults). Benchmarks use small values for speed.
 	MaxUops uint64
@@ -155,6 +160,13 @@ func (o Options) runnerConfig() runner.Config {
 	return runner.Config{Parallel: o.Parallel, Progress: o.Progress, Logger: o.Logger}
 }
 
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
 // Prepare builds the machine for one (workload, configuration) run:
 // it applies the work budget and seeds workload memory. This is the
 // single setup path shared by the harness and all three CLIs.
@@ -171,11 +183,23 @@ func Prepare(cfg pipeline.Config, w workloads.Workload, opts Options) (*pipeline
 }
 
 // measure is the serial core of a single run: prepare, simulate, package
-// the measurement. Sweep jobs call it from pool workers.
-func measure(cfg pipeline.Config, w workloads.Workload, opts Options) (*RunResult, error) {
+// the measurement. Sweep jobs call it from pool workers with the
+// runner-provided context, so a trace bound into Options.Ctx reaches
+// every run's span tree. All spans are pure taps — they read clocks and
+// copy attributes, never feed back into the simulation
+// (TestTracingPureTap pins byte-identical manifests either way).
+func measure(ctx context.Context, cfg pipeline.Config, w workloads.Workload, opts Options) (*RunResult, error) {
+	ctx, runSpan := tracing.Start(ctx, "harness.run", tracing.String("workload", w.Name))
+	defer runSpan.End()
+	_, prepSpan := tracing.Start(ctx, "harness.prepare")
 	m, err := Prepare(cfg, w, opts)
+	prepSpan.End()
 	if err != nil {
+		runSpan.SetError(err.Error())
 		return nil, err
+	}
+	if runSpan != nil {
+		runSpan.SetAttr("config_hash", obs.ConfigHash(w.Name, m.Cfg)[:12])
 	}
 	rlog := opts.Logger
 	if rlog != nil {
@@ -186,7 +210,11 @@ func measure(cfg pipeline.Config, w workloads.Workload, opts Options) (*RunResul
 			slog.String("config_hash", obs.ConfigHash(w.Name, m.Cfg)[:12]))
 	}
 	if opts.CacheDir != "" {
-		if res := loadCached(opts, w, m.Cfg); res != nil {
+		_, cacheSpan := tracing.Start(ctx, "cache.probe")
+		res := loadCached(opts, w, m.Cfg)
+		cacheSpan.SetAttr("hit", res != nil)
+		cacheSpan.End()
+		if res != nil {
 			if rlog != nil {
 				rlog.LogAttrs(context.Background(), slog.LevelDebug, "harness cache hit")
 			}
@@ -210,10 +238,27 @@ func measure(cfg pipeline.Config, w workloads.Workload, opts Options) (*RunResul
 	if hooks != nil {
 		m.SetSCCJournal(hooks)
 	}
+	simCtx, simSpan := tracing.Start(ctx, "harness.simulate")
 	var sampler *obs.Sampler
 	if opts.SampleEvery > 0 {
 		sampler = obs.NewSampler(opts.SampleEvery)
-		sampler.Attach(m)
+		if tr, _ := tracing.FromContext(simCtx); tr != nil {
+			// Traced run: wrap the sampler so every closed interval becomes
+			// a child span of the simulate span — the trace-side view of the
+			// manifest's Samples series.
+			interval := 0
+			s := sampler
+			m.SetSampleHook(s.Every(), func(cur pipeline.Stats) {
+				_, isp := tracing.Start(simCtx, "sample.interval",
+					tracing.Int("interval", int64(interval)),
+					tracing.Uint64("end_uops", cur.CommittedUops))
+				s.Observe(cur)
+				isp.End()
+				interval++
+			})
+		} else {
+			sampler.Attach(m)
+		}
 	}
 	if rlog != nil {
 		rlog.LogAttrs(context.Background(), slog.LevelDebug, "harness run start",
@@ -222,18 +267,28 @@ func measure(cfg pipeline.Config, w workloads.Workload, opts Options) (*RunResul
 	t0 := time.Now()
 	st, err := m.Run()
 	if err != nil {
+		simSpan.SetError(err.Error())
+		simSpan.End()
+		runSpan.SetError(err.Error())
 		if rlog != nil {
 			rlog.LogAttrs(context.Background(), slog.LevelWarn, "harness run failed",
 				slog.String("error", err.Error()))
 		}
 		return nil, fmt.Errorf("harness: %s: %w", w.Name, err)
 	}
+	if simSpan != nil {
+		simSpan.SetAttr("uops", st.CommittedUops)
+		simSpan.SetAttr("cycles", st.Cycles)
+	}
+	simSpan.End()
 	if rlog != nil {
 		rlog.LogAttrs(context.Background(), slog.LevelInfo, "harness run done",
 			slog.Float64("wall_ms", time.Since(t0).Seconds()*1e3),
 			slog.Uint64("uops", st.CommittedUops),
 			slog.Uint64("cycles", st.Cycles))
 	}
+	_, finSpan := tracing.Start(ctx, "harness.finalize")
+	defer finSpan.End()
 	mem := power.CacheCounts{
 		L1D:  m.Hier.L1D.Stats.Hits + m.Hier.L1D.Stats.Misses,
 		L2:   m.Hier.L2.Stats.Hits + m.Hier.L2.Stats.Misses,
@@ -268,8 +323,8 @@ func measure(cfg pipeline.Config, w workloads.Workload, opts Options) (*RunResul
 func job(cfg pipeline.Config, w workloads.Workload, opts Options) runner.Job[*RunResult] {
 	return runner.Job[*RunResult]{
 		Name: w.Name,
-		Run: func(context.Context) (*RunResult, error) {
-			return measure(cfg, w, opts)
+		Run: func(ctx context.Context) (*RunResult, error) {
+			return measure(ctx, cfg, w, opts)
 		},
 	}
 }
@@ -278,7 +333,7 @@ func job(cfg pipeline.Config, w workloads.Workload, opts Options) runner.Job[*Ru
 // submission order plus the sweep's telemetry summary. On success every
 // result is also handed to Options.OnResult in submission order.
 func sweep(opts Options, jobs []runner.Job[*RunResult]) ([]*RunResult, *runner.Summary, error) {
-	results, sum, err := runner.Run(context.Background(), opts.runnerConfig(), jobs)
+	results, sum, err := runner.Run(opts.ctx(), opts.runnerConfig(), jobs)
 	if err == nil && opts.OnResult != nil {
 		for i, r := range results {
 			if r != nil {

@@ -85,6 +85,16 @@ func (s *Sampler) Attach(m *pipeline.Machine) {
 	m.SetSampleHook(s.every, s.observe)
 }
 
+// Every returns the sampling interval in committed micro-ops — what
+// callers installing their own wrapping sample hook (e.g. the harness's
+// per-interval trace spans) pass to SetSampleHook.
+func (s *Sampler) Every() uint64 { return s.every }
+
+// Observe records one sample window. Exported for callers that wrap the
+// sampler in their own hook instead of using Attach; the single-threaded
+// hook contract still applies.
+func (s *Sampler) Observe(cur pipeline.Stats) { s.observe(cur) }
+
 func (s *Sampler) observe(cur pipeline.Stats) {
 	s.record(cur)
 }

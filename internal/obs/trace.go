@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"sccsim/internal/runner"
+	"sccsim/internal/tracing"
 )
 
 // traceEvent is one Chrome trace-event (catapult) record. Only the
@@ -159,6 +160,51 @@ func (t *Trace) AddSCCLane(pid int, js runner.JobStats, totalCycles uint64, slic
 				"committed": s.Committed,
 				"abort":     s.Abort,
 			},
+		})
+	}
+}
+
+// spanLaneTID keeps the span lane clear of the worker and scc-unit
+// lanes.
+const spanLaneTID = sccLaneTID + 1
+
+// AddSpanLane renders a finished span tree (tracing.SpanData from a
+// Tracer) as a dedicated thread lane inside process pid, next to the
+// worker lanes. Span wall-clock times are rebased so the earliest span
+// starts at t=0 — the same origin AddSweep's scheduler slices use — so
+// harness spans line up with the job slices they cover. Parent/child
+// nesting falls out of Chrome's complete-event containment rules.
+func (t *Trace) AddSpanLane(pid int, lane string, spans []tracing.SpanData) {
+	if len(spans) == 0 {
+		return
+	}
+	base := spans[0].Start
+	for _, sd := range spans[1:] {
+		if sd.Start.Before(base) {
+			base = sd.Start
+		}
+	}
+	t.events = append(t.events, traceEvent{
+		Name: "thread_name", Ph: "M", PID: pid, TID: spanLaneTID,
+		Args: map[string]any{"name": lane},
+	})
+	for _, sd := range spans {
+		args := map[string]any{
+			"trace_id": sd.TraceID.String(),
+			"span_id":  sd.SpanID.String(),
+		}
+		for _, a := range sd.Attrs {
+			args[a.Key] = a.Value
+		}
+		cat := "span"
+		if sd.Err != "" {
+			cat = "span,error"
+			args["error"] = sd.Err
+		}
+		t.events = append(t.events, traceEvent{
+			Name: sd.Name, Cat: cat, Ph: "X",
+			TS: micros(sd.Start.Sub(base)), Dur: micros(sd.End.Sub(sd.Start)),
+			PID: pid, TID: spanLaneTID, Args: args,
 		})
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"sccsim/internal/runner"
+	"sccsim/internal/tracing"
 )
 
 func sampleSummary() *runner.Summary {
@@ -186,3 +187,70 @@ func TestTraceErrorCategory(t *testing.T) {
 type errFake string
 
 func (e errFake) Error() string { return string(e) }
+
+// TestTraceSpanLane: a finished span tree merges into the Chrome trace
+// as its own lane — thread metadata on the dedicated tid, one slice per
+// span rebased so the earliest span starts at t=0, attrs and trace ids
+// carried as args, errors switching the category.
+func TestTraceSpanLane(t *testing.T) {
+	base := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	tr := tracing.New(tracing.MintTraceID())
+	root := tr.StartSpan("sccsim", tracing.SpanID{}, tracing.String("workload", "mcf"))
+	child := tr.StartSpan("harness.run", root.SpanID())
+	child.SetError("sim exploded")
+	tr.Finish()
+	spans := tr.Spans()
+	// Pin deterministic times: root [0, 10ms], child [2ms, 6ms].
+	spans[0].Start, spans[0].End = base, base.Add(10*time.Millisecond)
+	spans[1].Start, spans[1].End = base.Add(2*time.Millisecond), base.Add(6*time.Millisecond)
+
+	ct := NewTrace()
+	ct.AddSpanLane(7, "spans", spans)
+
+	var lane bool
+	slices := map[string]traceEvent{}
+	for _, e := range ct.events {
+		switch {
+		case e.Ph == "M" && e.Name == "thread_name":
+			lane = true
+			if e.PID != 7 || e.TID != spanLaneTID || e.Args["name"] != "spans" {
+				t.Errorf("lane metadata %+v", e)
+			}
+		case e.Ph == "X":
+			slices[e.Name] = e
+			if e.TID != spanLaneTID {
+				t.Errorf("span %q on tid %d, want the span lane", e.Name, e.TID)
+			}
+		}
+	}
+	if !lane {
+		t.Error("no thread_name metadata for the span lane")
+	}
+	if len(slices) != 2 {
+		t.Fatalf("got %d span slices, want 2", len(slices))
+	}
+	rootEv := slices["sccsim"]
+	if rootEv.TS != 0 || rootEv.Dur != 10000 {
+		t.Errorf("root at ts=%v dur=%v, want 0/10000 µs (rebased)", rootEv.TS, rootEv.Dur)
+	}
+	if rootEv.Args["workload"] != "mcf" {
+		t.Errorf("root workload arg %v", rootEv.Args["workload"])
+	}
+	if rootEv.Args["trace_id"] != tr.TraceID().String() {
+		t.Errorf("root trace_id arg %v", rootEv.Args["trace_id"])
+	}
+	childEv := slices["harness.run"]
+	if childEv.TS != 2000 || childEv.Dur != 4000 {
+		t.Errorf("child at ts=%v dur=%v, want 2000/4000 µs", childEv.TS, childEv.Dur)
+	}
+	if childEv.Cat != "span,error" || childEv.Args["error"] != "sim exploded" {
+		t.Errorf("errored span cat=%q args=%v", childEv.Cat, childEv.Args)
+	}
+
+	// Empty input adds nothing — the -trace path without -trace-out.
+	before := len(ct.events)
+	ct.AddSpanLane(7, "spans", nil)
+	if len(ct.events) != before {
+		t.Error("empty span slice still appended events")
+	}
+}

@@ -37,6 +37,7 @@ type JobStatus struct {
 	ID         string          `json:"id"`
 	Workload   string          `json:"workload"`
 	ConfigHash string          `json:"config_hash"`
+	TraceID    string          `json:"trace_id,omitempty"`
 	State      string          `json:"state"`
 	FromCache  bool            `json:"from_cache,omitempty"`
 	Error      string          `json:"error,omitempty"`
@@ -47,6 +48,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/manifest", s.handleJobManifest)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/cache/{hash}", s.handleCacheProbe)
@@ -106,25 +108,40 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusServiceUnavailable, "server is draining; not accepting new jobs")
 		return
 	}
+	tr, root := admitTrace(w, r)
+	vspan := tr.StartSpan("admission.validate", root.SpanID())
+	reject := func(msg string) {
+		vspan.SetError(msg)
+		vspan.End()
+		root.SetError(msg)
+		root.End()
+		writeErr(w, http.StatusBadRequest, "%s", msg)
+	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	var req JobRequest
 	if err := dec.Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		reject(fmt.Sprintf("bad request body: %v", err))
 		return
 	}
 	wl, ok := workloads.ByName(req.Workload)
 	if !ok {
-		writeErr(w, http.StatusBadRequest, "unknown workload %q (GET /v1/workloads lists them)", req.Workload)
+		reject(fmt.Sprintf("unknown workload %q (GET /v1/workloads lists them)", req.Workload))
 		return
 	}
 	cfg, err := s.resolveConfig(req, wl)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		reject(err.Error())
 		return
 	}
+	vspan.End()
 	hash := obs.ConfigHash(wl.Name, cfg)
-	j := s.newJob(wl, cfg, hash, req.SampleEvery, telemetry.RequestIDFrom(r.Context()))
+	// Only deterministic attributes go on spans (workload, config hash —
+	// not the request id, which is random per submission), so normalized
+	// traces of identical submissions stay byte-identical.
+	root.SetAttr("workload", wl.Name)
+	root.SetAttr("config_hash", hash[:12])
+	j := s.newJob(wl, cfg, hash, req.SampleEvery, telemetry.RequestIDFrom(r.Context()), tr, root)
 	s.met.submitted.Inc()
 	s.jobLogger(j).LogAttrs(r.Context(), slog.LevelInfo, "job submitted",
 		slog.String("config_hash", hash[:12]),
@@ -133,16 +150,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	// Read-through: a repeated configuration is O(1) — answered from the
 	// manifest cache without consuming a queue slot or a worker.
-	if s.probeCache(j) {
+	pspan := tr.StartSpan("cache.probe", root.SpanID())
+	hit := s.probeCache(j)
+	pspan.SetAttr("hit", hit)
+	pspan.End()
+	if hit {
 		s.writeJobStatus(w, http.StatusOK, j, true)
 		return
 	}
 
+	j.queueSpan = tr.StartSpan("queue.wait", root.SpanID())
 	s.pending.Add(1)
 	if !s.enqueue(j) {
 		s.pending.Done()
 		s.met.rejected.Inc()
 		s.dropJob(j)
+		j.queueSpan.SetError("queue full")
+		j.queueSpan.End()
+		root.SetError("queue full")
+		root.End()
 		retry := s.retryAfter()
 		s.jobLogger(j).LogAttrs(r.Context(), slog.LevelWarn, "job rejected: queue full",
 			slog.Int("queue_cap", s.cfg.QueueDepth),
@@ -186,6 +212,9 @@ func (s *Server) writeJobStatus(w http.ResponseWriter, code int, j *job, include
 		State:      string(st),
 		FromCache:  fromCache,
 		Error:      errMsg,
+	}
+	if j.tr != nil {
+		out.TraceID = j.tr.TraceID().String()
 	}
 	if includeManifest && st == StateDone {
 		out.Manifest = json.RawMessage(manifest)

@@ -7,6 +7,7 @@ import (
 
 	"sccsim/internal/harness"
 	"sccsim/internal/pipeline"
+	"sccsim/internal/tracing"
 	"sccsim/internal/workloads"
 )
 
@@ -69,6 +70,16 @@ type job struct {
 	sampleEvery uint64
 	requestID   string // admission correlation ID (access log ↔ job events)
 	submitted   time.Time
+
+	// tr/root are the job's trace: the root "request" span opens at
+	// admission and ends with the terminal state; queueSpan covers the
+	// bounded-queue wait (started at enqueue, ended at worker pickup).
+	// All are nil-safe: an untraced job (none exist today — every
+	// submission gets a trace, inbound traceparent or minted) would
+	// no-op through every call.
+	tr        *tracing.Tracer
+	root      *tracing.Span
+	queueSpan *tracing.Span
 
 	mu        sync.Mutex
 	state     jobState
@@ -155,6 +166,13 @@ func (j *job) finish(st jobState, errMsg string, fromCache bool, manifest []byte
 	j.fromCache = fromCache
 	j.manifest = manifest
 	j.mu.Unlock()
+	if errMsg != "" && st != StateCanceled {
+		j.root.SetError(errMsg)
+	}
+	// Finish ends every open span in reverse start order — the root last —
+	// so children (worker.run, a dangling queue.wait) never outlive it and
+	// the exported tree always validates as nested.
+	j.tr.Finish()
 	j.append(eventDone, doneEvent{
 		State:      string(st),
 		ConfigHash: j.hash,
@@ -178,6 +196,15 @@ func (j *job) complete(manifest []byte, res *harness.RunResult) bool {
 func (j *job) fail(msg string) bool { return j.finish(StateFailed, msg, false, nil) }
 
 func (j *job) finishCanceled() bool { return j.finish(StateCanceled, "canceled", false, nil) }
+
+// traceID returns the job's trace id in hex ("" if untraced) — the
+// value latency exemplars and log lines carry.
+func (j *job) traceID() string {
+	if j.tr == nil {
+		return ""
+	}
+	return j.tr.TraceID().String()
+}
 
 // snapshot returns the fields the status endpoints render.
 func (j *job) snapshot() (st jobState, errMsg string, fromCache bool, manifest []byte) {

@@ -105,8 +105,12 @@ func ringPush(buf *[]float64, idx *int, v float64) {
 	*idx = (*idx + 1) % latencyWindow
 }
 
-func (m *metrics) observeLatency(d time.Duration) {
-	m.latency.Observe(d.Seconds())
+// observeLatency records one end-to-end latency with the job's trace id
+// as the bucket's exemplar: a scrape showing a bad p99 bucket links
+// straight to a trace that landed in it (GET /v1/jobs/{id}/trace — the
+// JobStatus document maps trace ids back to jobs).
+func (m *metrics) observeLatency(d time.Duration, traceID string) {
+	m.latency.ObserveExemplar(d.Seconds(), traceID)
 	m.mu.Lock()
 	ringPush(&m.latMS, &m.latIdx, d.Seconds()*1e3)
 	m.mu.Unlock()

@@ -27,7 +27,7 @@ func TestLatencyRingWraparound(t *testing.T) {
 	total := latencyWindow + 100
 	for i := 0; i < total; i++ {
 		// Strictly increasing latencies: sample i is (i+1) ms.
-		m.observeLatency(time.Duration(i+1) * time.Millisecond)
+		m.observeLatency(time.Duration(i+1)*time.Millisecond, "")
 	}
 	m.mu.Lock()
 	n := len(m.latMS)
@@ -97,7 +97,7 @@ func TestObserveLatencyConcurrent(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
-				m.observeLatency(time.Duration(g*per+i) * time.Microsecond)
+				m.observeLatency(time.Duration(g*per+i)*time.Microsecond, "")
 				if i%16 == 0 {
 					m.latencyPercentile(99) // concurrent reader
 				}
@@ -142,7 +142,7 @@ func TestMetricsPercentilesSuppressedWhenEmpty(t *testing.T) {
 	}
 
 	// One sample flips both on.
-	s.met.observeLatency(5 * time.Millisecond)
+	s.met.observeLatency(5*time.Millisecond, "")
 	snap = s.snapshotMetrics()
 	if snap.LatencyP50MS == nil || *snap.LatencyP50MS != 5 {
 		t.Errorf("p50 after one 5ms sample = %v, want 5", snap.LatencyP50MS)

@@ -44,6 +44,7 @@ import (
 	"sccsim/internal/pipeline"
 	"sccsim/internal/runner"
 	"sccsim/internal/telemetry"
+	"sccsim/internal/tracing"
 	"sccsim/internal/workloads"
 )
 
@@ -197,12 +198,20 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// out of the Info stream (and the flight ring) unless debugging.
 		level = slog.LevelDebug
 	}
-	s.log.LogAttrs(r.Context(), level, "http request",
+	attrs := []slog.Attr{
 		slog.String(telemetry.RequestIDKey, id),
 		slog.String("method", r.Method),
 		slog.String("path", r.URL.Path),
 		slog.Int("status", sw.status()),
-		slog.Float64("duration_ms", time.Since(t0).Seconds()*1e3))
+		slog.Float64("duration_ms", time.Since(t0).Seconds()*1e3),
+	}
+	// Submissions echo their trace in the traceparent response header;
+	// lift the trace id into the access log so the very first line of a
+	// request already correlates with its span tree.
+	if tid, _, ok := tracing.ParseTraceparent(w.Header().Get(tracing.TraceparentHeader)); ok {
+		attrs = append(attrs, slog.String("trace_id", tid.String()))
+	}
+	s.log.LogAttrs(r.Context(), level, "http request", attrs...)
 }
 
 // quietPath marks the endpoints polled by machines (scrapers, health
@@ -302,7 +311,9 @@ func defaultRun(_ context.Context, w workloads.Workload, cfg pipeline.Config, op
 // newJob allocates and registers a job record. requestID is the
 // admission correlation ID; it rides on the record so the worker that
 // eventually runs the job logs under the same ID the access log used.
-func (s *Server) newJob(wl workloads.Workload, cfg pipeline.Config, hash string, sampleEvery uint64, requestID string) *job {
+// tr/root are the admission trace: the root span ends with the job's
+// terminal transition.
+func (s *Server) newJob(wl workloads.Workload, cfg pipeline.Config, hash string, sampleEvery uint64, requestID string, tr *tracing.Tracer, root *tracing.Span) *job {
 	s.mu.Lock()
 	s.seq++
 	j := &job{
@@ -312,6 +323,8 @@ func (s *Server) newJob(wl workloads.Workload, cfg pipeline.Config, hash string,
 		hash:        hash,
 		sampleEvery: sampleEvery,
 		requestID:   requestID,
+		tr:          tr,
+		root:        root,
 		submitted:   time.Now(),
 		state:       StateQueued,
 		update:      make(chan struct{}),
@@ -368,6 +381,7 @@ func (s *Server) runJob(j *job) {
 			slog.Int("queue_depth", len(s.queue)),
 			slog.Int("workers", s.cfg.Workers))
 	}
+	j.queueSpan.End() // worker pickup: the queue wait is over either way
 	if s.baseCtx.Err() != nil || j.cancelRequested() {
 		s.finishCanceled(j, jlog)
 		return
@@ -382,7 +396,13 @@ func (s *Server) runJob(j *job) {
 	s.met.inFlight.Add(1)
 	defer s.met.inFlight.Add(-1)
 
+	wspan := j.tr.StartSpan("worker.run", j.root.SpanID())
 	opts := harness.Options{
+		// The harness's span tree (harness.run → prepare/simulate/…) hangs
+		// under the worker span. Cancellation is deliberately NOT carried:
+		// a detached simulation still finishes and warms the cache, as
+		// before tracing existed.
+		Ctx: tracing.NewContext(context.WithoutCancel(ctx), j.tr, wspan),
 		MaxUops:     j.cfg.MaxUops,
 		Parallel:    1,
 		CacheDir:    s.cfg.CacheDir,
@@ -414,10 +434,11 @@ func (s *Server) runJob(j *job) {
 	}()
 	select {
 	case out := <-ch:
+		wspan.End()
 		s.finishJob(j, out.res, out.err, time.Since(t0))
 	case <-ctx.Done():
 		go func() { <-ch }() // reap the detached simulation
-		s.finishCanceled(j, jlog)
+		s.finishCanceled(j, jlog) // tracer Finish sweeps the open worker span
 	}
 }
 
@@ -429,10 +450,18 @@ func (s *Server) jobLogger(j *job) *slog.Logger {
 
 // runLogger is jobLogger minus the workload attr — the shape handed to
 // harness.Options.Logger, which binds workload/config_hash on its own.
+// It binds the trace id next to the request id, so every slog line of
+// the job — access log, scheduler events, harness lifecycle, SCC
+// journal — carries the same trace_id the traceparent response header
+// and /v1/jobs/{id}/trace expose.
 func (s *Server) runLogger(j *job) *slog.Logger {
-	return s.log.With(
+	l := s.log.With(
 		slog.String(telemetry.RequestIDKey, j.requestID),
 		slog.String("job", j.id))
+	if j.tr != nil {
+		l = l.With(slog.String("trace_id", j.tr.TraceID().String()))
+	}
+	return l
 }
 
 // finishCanceled finalizes a cancellation exactly once, with the metric
@@ -458,7 +487,9 @@ func (s *Server) finishJob(j *job, res *harness.RunResult, err error, runWall ti
 		}
 		return
 	}
+	fspan := j.tr.StartSpan("serve.finalize", j.root.SpanID())
 	man, mErr := encodeManifest(res)
+	fspan.End()
 	if mErr != nil {
 		if j.fail(mErr.Error()) {
 			s.met.failed.Inc()
@@ -482,7 +513,7 @@ func (s *Server) finishJob(j *job, res *harness.RunResult, err error, runWall ti
 		s.met.observeRun(runWall)
 	}
 	latency := time.Since(j.submitted)
-	s.met.observeLatency(latency)
+	s.met.observeLatency(latency, j.traceID())
 	s.jobLogger(j).LogAttrs(context.Background(), slog.LevelInfo, "job done",
 		slog.String("config_hash", j.hash[:12]),
 		slog.Bool("from_cache", res.FromCache),
@@ -541,7 +572,7 @@ func (s *Server) probeCache(j *job) bool {
 	if j.complete(man, res) {
 		s.met.cacheHits.Inc()
 		s.met.completed.Inc()
-		s.met.observeLatency(time.Since(j.submitted))
+		s.met.observeLatency(time.Since(j.submitted), j.traceID())
 		s.jobLogger(j).LogAttrs(context.Background(), slog.LevelInfo, "job done",
 			slog.String("config_hash", j.hash[:12]),
 			slog.Bool("from_cache", true))

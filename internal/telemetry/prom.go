@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -32,7 +33,10 @@ func formatFloat(v float64) string {
 // headers followed by its sample lines, sorted by metric name within
 // each registry. Instruments that currently report no samples (e.g. a
 // suppressed GaugeFunc) are omitted entirely — headers included — so a
-// scrape never sees a fabricated zero.
+// scrape never sees a fabricated zero. Histogram buckets carrying an
+// exemplar append it OpenMetrics-style (` # {trace_id="…"} value`), the
+// link a tail-latency investigation follows from a p99 bucket to the
+// request trace that landed in it.
 func WritePrometheus(w io.Writer, regs ...*Registry) error {
 	bw := bufio.NewWriter(w)
 	var scratch []sample
@@ -50,7 +54,11 @@ func WritePrometheus(w io.Writer, regs ...*Registry) error {
 			}
 			fmt.Fprintf(bw, "# TYPE %s %s\n", m.metricName(), m.metricType())
 			for _, s := range scratch {
-				fmt.Fprintf(bw, "%s %s\n", s.series, formatFloat(s.value))
+				fmt.Fprintf(bw, "%s %s", s.series, formatFloat(s.value))
+				if s.exemplar != nil {
+					fmt.Fprintf(bw, " # %s %s", formatLabels(s.exemplar.Labels), formatFloat(s.exemplar.Value))
+				}
+				bw.WriteByte('\n')
 			}
 		}
 	}
@@ -63,12 +71,65 @@ func escapeHelp(s string) string {
 	return strings.ReplaceAll(s, "\n", `\n`)
 }
 
+// unescapeHelp inverts escapeHelp.
+func unescapeHelp(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				b.WriteByte('\\')
+				b.WriteByte(s[i])
+			}
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the exposition spec:
+// backslash, double quote, and newline.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatLabels renders a label map as {k="v",…} with keys sorted, values
+// escaped — deterministic, so exemplar-bearing expositions stay stable.
+func formatLabels(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, k, escapeLabelValue(labels[k]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
 // Exposition is a parsed Prometheus text document: sample values keyed
-// by full series (name plus any label set, verbatim) and the declared
-// TYPE per metric name.
+// by full series (name plus any label set, verbatim), the declared TYPE
+// and unescaped HELP per metric name, and any exemplar attached to a
+// series line.
 type Exposition struct {
-	Samples map[string]float64
-	Types   map[string]string
+	Samples   map[string]float64
+	Types     map[string]string
+	Help      map[string]string
+	Exemplars map[string]*Exemplar
 }
 
 // ParseExposition parses and validates a Prometheus text-format
@@ -81,8 +142,10 @@ type Exposition struct {
 // as counters being monotonic across two scrapes.
 func ParseExposition(b []byte) (*Exposition, error) {
 	exp := &Exposition{
-		Samples: make(map[string]float64),
-		Types:   make(map[string]string),
+		Samples:   make(map[string]float64),
+		Types:     make(map[string]string),
+		Help:      make(map[string]string),
+		Exemplars: make(map[string]*Exemplar),
 	}
 	for ln, line := range strings.Split(string(b), "\n") {
 		lineNo := ln + 1
@@ -107,10 +170,13 @@ func ParseExposition(b []byte) (*Exposition, error) {
 					return nil, fmt.Errorf("line %d: duplicate TYPE header for %s", lineNo, name)
 				}
 				exp.Types[name] = rest
+			} else {
+				exp.Help[name] = unescapeHelp(rest)
 			}
 			continue
 		}
-		series, valueStr, ok := splitSample(line)
+		samplePart, exemplarPart := splitExemplar(line)
+		series, valueStr, ok := splitSample(samplePart)
 		if !ok {
 			return nil, fmt.Errorf("line %d: malformed sample line %q", lineNo, line)
 		}
@@ -129,20 +195,171 @@ func ParseExposition(b []byte) (*Exposition, error) {
 			return nil, fmt.Errorf("line %d: series %q has no preceding TYPE header", lineNo, series)
 		}
 		exp.Samples[series] = v
+		if exemplarPart != "" {
+			ex, err := parseExemplar(exemplarPart)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad exemplar %q: %v", lineNo, exemplarPart, err)
+			}
+			exp.Exemplars[series] = ex
+		}
 	}
 	return exp, nil
 }
 
-// parseHeader splits "# HELP name text" / "# TYPE name kind".
+// parseHeader splits "# HELP name text" / "# TYPE name kind". The rest
+// is returned verbatim (not re-tokenized), so HELP text with internal
+// whitespace survives a parse round-trip.
 func parseHeader(line string) (kind, name, rest string, ok bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 3 || fields[0] != "#" {
+	rest, found := strings.CutPrefix(line, "# HELP ")
+	kind = "HELP"
+	if !found {
+		rest, found = strings.CutPrefix(line, "# TYPE ")
+		kind = "TYPE"
+	}
+	if !found {
 		return "", "", "", false
 	}
-	if fields[1] != "HELP" && fields[1] != "TYPE" {
+	name, rest, found = strings.Cut(rest, " ")
+	if !found || name == "" {
 		return "", "", "", false
 	}
-	return fields[1], fields[2], strings.Join(fields[3:], " "), true
+	return kind, name, rest, true
+}
+
+// splitExemplar splits an OpenMetrics exemplar suffix off a sample line:
+// the first '#' outside quoted label values starts the exemplar. Lines
+// without one return (line, "").
+func splitExemplar(line string) (samplePart, exemplarPart string) {
+	inQuote := false
+	for i := 0; i < len(line); i++ {
+		switch c := line[i]; {
+		case inQuote && c == '\\':
+			i++ // skip the escaped character
+		case c == '"':
+			inQuote = !inQuote
+		case !inQuote && c == '#':
+			return strings.TrimRight(line[:i], " \t"), strings.TrimSpace(line[i+1:])
+		}
+	}
+	return line, ""
+}
+
+// parseExemplar parses `{labels} value`, the suffix splitExemplar
+// returns.
+func parseExemplar(s string) (*Exemplar, error) {
+	if !strings.HasPrefix(s, "{") {
+		return nil, fmt.Errorf("missing label set")
+	}
+	end := quoteAwareIndex(s, '}')
+	if end < 0 {
+		return nil, fmt.Errorf("unterminated label set")
+	}
+	labels, err := parseLabels(s[1:end])
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(s[end+1:])
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("missing value")
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	return &Exemplar{Labels: labels, Value: v}, nil
+}
+
+// quoteAwareIndex finds the first unquoted, unescaped occurrence of c.
+func quoteAwareIndex(s string, c byte) int {
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		switch b := s[i]; {
+		case inQuote && b == '\\':
+			i++
+		case b == '"':
+			inQuote = !inQuote
+		case !inQuote && b == c:
+			return i
+		}
+	}
+	return -1
+}
+
+// parseLabels parses the interior of a label set (`k="v",k2="v2"`),
+// unescaping values (inverse of escapeLabelValue).
+func parseLabels(s string) (map[string]string, error) {
+	labels := make(map[string]string)
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label pair %q missing '='", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		if !validName(key) {
+			return nil, fmt.Errorf("invalid label name %q", key)
+		}
+		rest := s[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return nil, fmt.Errorf("label %q value not quoted", key)
+		}
+		rest = rest[1:]
+		var b strings.Builder
+		i := 0
+		for ; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case 'n':
+					b.WriteByte('\n')
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				default:
+					b.WriteByte('\\')
+					b.WriteByte(rest[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			b.WriteByte(c)
+		}
+		if i >= len(rest) {
+			return nil, fmt.Errorf("label %q value unterminated", key)
+		}
+		if _, dup := labels[key]; dup {
+			return nil, fmt.Errorf("duplicate label %q", key)
+		}
+		labels[key] = b.String()
+		s = rest[i+1:]
+		if s != "" {
+			if s[0] != ',' {
+				return nil, fmt.Errorf("expected ',' after label %q, got %q", key, s)
+			}
+			s = s[1:]
+		}
+	}
+	return labels, nil
+}
+
+// ParseSeries splits a full series name (as keyed in Exposition.Samples)
+// into the metric name and its decoded label map.
+func ParseSeries(series string) (string, map[string]string, error) {
+	i := strings.IndexByte(series, '{')
+	if i < 0 {
+		return series, nil, nil
+	}
+	if !strings.HasSuffix(series, "}") {
+		return "", nil, fmt.Errorf("series %q: unterminated label set", series)
+	}
+	labels, err := parseLabels(series[i+1 : len(series)-1])
+	if err != nil {
+		return "", nil, fmt.Errorf("series %q: %v", series, err)
+	}
+	return series[:i], labels, nil
 }
 
 // splitSample splits a sample line into series and value, honoring a

@@ -109,6 +109,99 @@ func TestParseExpositionAcceptsComments(t *testing.T) {
 	}
 }
 
+// TestExpositionEscapingRoundTrip pins the exposition escaping rules:
+// help strings and label values containing backslashes, double quotes,
+// and newlines must survive WritePrometheus → ParseExposition intact.
+func TestExpositionEscapingRoundTrip(t *testing.T) {
+	hostileHelp := "line one\nline \\two\\ with \"quotes\" and a trailing slash \\"
+	r := NewRegistry()
+	r.Counter("esc_total", hostileHelp).Inc()
+
+	hostileValue := "a\\b\"c\nd,e}f # g"
+	h := r.Histogram("esc_latency_seconds", "Latency with \\ hostile \n help.", []float64{1})
+	h.ObserveExemplar(0.5, hostileValue)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ParseExposition(buf.Bytes())
+	if err != nil {
+		t.Fatalf("escaped exposition does not validate: %v\n%s", err, buf.String())
+	}
+
+	if got := exp.Help["esc_total"]; got != hostileHelp {
+		t.Errorf("help round-trip: got %q, want %q", got, hostileHelp)
+	}
+	if got := exp.Help["esc_latency_seconds"]; got != "Latency with \\ hostile \n help." {
+		t.Errorf("histogram help round-trip: got %q", got)
+	}
+	ex := exp.Exemplars[`esc_latency_seconds_bucket{le="1"}`]
+	if ex == nil {
+		t.Fatalf("no exemplar parsed; exemplars: %v\n%s", exp.Exemplars, buf.String())
+	}
+	if got := ex.Labels["trace_id"]; got != hostileValue {
+		t.Errorf("label value round-trip: got %q, want %q", got, hostileValue)
+	}
+	if ex.Value != 0.5 {
+		t.Errorf("exemplar value = %v, want 0.5", ex.Value)
+	}
+	if exp.Samples[`esc_latency_seconds_bucket{le="1"}`] != 1 {
+		t.Errorf("bucket sample lost next to exemplar: %v", exp.Samples)
+	}
+}
+
+// TestParseSeriesDecodesLabels covers the exported series decoder on
+// escaped label values.
+func TestParseSeriesDecodesLabels(t *testing.T) {
+	name, labels, err := ParseSeries(`m_bucket{le="+Inf",path="a\\b\"c\nd"}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "m_bucket" || labels["le"] != "+Inf" || labels["path"] != "a\\b\"c\nd" {
+		t.Errorf("ParseSeries = %q %v", name, labels)
+	}
+	if _, _, err := ParseSeries(`m{le="unterminated`); err == nil {
+		t.Error("ParseSeries accepted unterminated label set")
+	}
+}
+
+// TestHistogramExemplarPlacement pins which bucket an exemplar lands in
+// and that the latest observation wins.
+func TestHistogramExemplarPlacement(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("p_seconds", "h", []float64{0.1, 1})
+	h.ObserveExemplar(0.05, "trace-a")
+	h.ObserveExemplar(0.5, "trace-b")
+	h.ObserveExemplar(0.07, "trace-c") // same bucket as trace-a: replaces it
+	h.ObserveExemplar(99, "")          // empty trace id: plain observe
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ParseExposition(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		`p_seconds_bucket{le="0.1"}`: "trace-c",
+		`p_seconds_bucket{le="1"}`:   "trace-b",
+	}
+	for series, traceID := range want {
+		ex := exp.Exemplars[series]
+		if ex == nil || ex.Labels["trace_id"] != traceID {
+			t.Errorf("%s exemplar = %+v, want trace_id %q", series, ex, traceID)
+		}
+	}
+	if ex := exp.Exemplars[`p_seconds_bucket{le="+Inf"}`]; ex != nil {
+		t.Errorf("+Inf bucket unexpectedly carries exemplar %+v", ex)
+	}
+	if exp.Samples["p_seconds_count"] != 4 {
+		t.Errorf("count = %v, want 4 (empty-trace-id observe must still count)", exp.Samples["p_seconds_count"])
+	}
+}
+
 func TestFormatFloatSpecials(t *testing.T) {
 	for in, want := range map[float64]string{42: "42", 0.25: "0.25"} {
 		if got := formatFloat(in); got != want {

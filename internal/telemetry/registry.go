@@ -36,10 +36,12 @@ type metric interface {
 }
 
 // sample is one exposition line: series name (with any label set
-// preformatted into it) and value.
+// preformatted into it), value, and an optional exemplar rendered as an
+// OpenMetrics " # {labels} value" suffix.
 type sample struct {
-	series string
-	value  float64
+	series   string
+	value    float64
+	exemplar *Exemplar
 }
 
 // validName enforces the Prometheus metric-name charset
@@ -143,7 +145,7 @@ func (c *Counter) metricName() string { return c.name }
 func (c *Counter) metricHelp() string { return c.help }
 func (c *Counter) metricType() string { return "counter" }
 func (c *Counter) samples(dst []sample) []sample {
-	return append(dst, sample{c.name, float64(c.v.Load())})
+	return append(dst, sample{series: c.name, value: float64(c.v.Load())})
 }
 
 // ---------------------------------------------------------------------
@@ -191,7 +193,7 @@ func (g *Gauge) metricName() string { return g.name }
 func (g *Gauge) metricHelp() string { return g.help }
 func (g *Gauge) metricType() string { return "gauge" }
 func (g *Gauge) samples(dst []sample) []sample {
-	return append(dst, sample{g.name, g.v.load()})
+	return append(dst, sample{series: g.name, value: g.v.load()})
 }
 
 // gaugeFunc is a computed gauge; the callback's second return suppresses
@@ -218,7 +220,7 @@ func (g *gaugeFunc) samples(dst []sample) []sample {
 	if !ok {
 		return dst
 	}
-	return append(dst, sample{g.name, v})
+	return append(dst, sample{series: g.name, value: v})
 }
 
 // ---------------------------------------------------------------------
@@ -241,6 +243,16 @@ type Histogram struct {
 	counts []atomic.Int64
 	sum    atomicFloat64
 	count  atomic.Int64
+	// exemplars holds the latest exemplar per bucket (nil = none yet),
+	// OpenMetrics-style: a p99 scrape's offending bucket carries the
+	// trace id of a request that landed in it.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one observation to the trace that produced it.
+type Exemplar struct {
+	Labels map[string]string // e.g. {"trace_id": "0af7..."}
+	Value  float64           // the observed value
 }
 
 // Histogram get-or-creates a histogram with the given upper bounds
@@ -257,21 +269,41 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	return r.register(name, func() metric {
 		return &Histogram{
 			name: name, help: help,
-			bounds: bounds,
-			counts: make([]atomic.Int64, len(bounds)+1), // +1: the +Inf bucket
+			bounds:    bounds,
+			counts:    make([]atomic.Int64, len(bounds)+1), // +1: the +Inf bucket
+			exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
 		}
 	}).(*Histogram)
 }
 
-// Observe records one value.
-func (h *Histogram) Observe(v float64) {
+// bucketFor returns the index of the bucket v falls in.
+func (h *Histogram) bucketFor(v float64) int {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
 	}
+	return i
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.counts[h.bucketFor(v)].Add(1)
+	h.sum.add(v)
+	h.count.Add(1)
+}
+
+// ObserveExemplar records one value and attaches a trace-id exemplar to
+// the bucket it lands in (latest observation wins), so the exposition's
+// bucket lines link back to a concrete trace. An empty traceID degrades
+// to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	i := h.bucketFor(v)
 	h.counts[i].Add(1)
 	h.sum.add(v)
 	h.count.Add(1)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{Labels: map[string]string{"trace_id": traceID}, Value: v})
+	}
 }
 
 // Count returns the number of observations.
@@ -291,9 +323,13 @@ func (h *Histogram) samples(dst []sample) []sample {
 		if i < len(h.bounds) {
 			le = formatFloat(h.bounds[i])
 		}
-		dst = append(dst, sample{fmt.Sprintf("%s_bucket{le=%q}", h.name, le), float64(cum)})
+		dst = append(dst, sample{
+			series:   fmt.Sprintf("%s_bucket{le=%q}", h.name, le),
+			value:    float64(cum),
+			exemplar: h.exemplars[i].Load(),
+		})
 	}
-	dst = append(dst, sample{h.name + "_sum", h.sum.load()})
-	dst = append(dst, sample{h.name + "_count", float64(h.count.Load())})
+	dst = append(dst, sample{series: h.name + "_sum", value: h.sum.load()})
+	dst = append(dst, sample{series: h.name + "_count", value: float64(h.count.Load())})
 	return dst
 }
