@@ -3,8 +3,8 @@
 
 GO ?= go
 
-.PHONY: all build test check bench bench-json diff figures fig6 fig7 fig8 \
-        fig9 fig10 fig11 table1 overhead examples serve serve-smoke \
+.PHONY: all build test check bench bench-json diff explain figures fig6 fig7 \
+        fig8 fig9 fig10 fig11 table1 overhead examples serve serve-smoke \
         telemetry-race trace-race loadgen clean
 
 all: build test
@@ -42,9 +42,26 @@ bench-json:
 
 # Regression gate: regenerate the reduced-scale sweep and diff it against
 # the committed PR-2 baseline with direction-aware thresholds (sccdiff
-# exits nonzero on an IPC/coverage drop or an energy rise).
+# exits nonzero on an IPC/coverage drop or an energy rise). When the gate
+# trips, a second sccdiff pass renders the -explain markdown attribution
+# (CPI-stack delta, shifted transforms, divergence window) into
+# $GITHUB_STEP_SUMMARY so the CI job page explains the failure, then the
+# target still exits 1. The committed baseline is index-only (no manifest
+# files), so explanations there degrade to per-entry notes — the gate
+# verdict itself never depends on them.
 diff: bench-json
-	$(GO) run ./cmd/sccdiff BENCH_pr2.json manifests
+	$(GO) run ./cmd/sccdiff BENCH_pr2.json manifests || \
+	  { $(GO) run ./cmd/sccdiff -explain -format markdown \
+	      BENCH_pr2.json manifests >> $${GITHUB_STEP_SUMMARY:-/dev/null}; exit 1; }
+
+# Regression attribution: explain every matched pair between two manifest
+# directories (index.json + per-run manifests, as written by
+# `sccbench -json DIR`). Override the endpoints to compare arbitrary
+# sweeps, e.g. `make explain EXPLAIN_BASE=sweepA EXPLAIN_CUR=sweepB`.
+EXPLAIN_BASE ?= BENCH_pr2.json
+EXPLAIN_CUR  ?= manifests
+explain:
+	$(GO) run ./cmd/sccdiff -explain-all $(EXPLAIN_BASE) $(EXPLAIN_CUR)
 
 # Full-scale regeneration of every table and figure (a few minutes).
 figures:

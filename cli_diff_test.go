@@ -1,0 +1,162 @@
+package sccsim
+
+// sccdiff gate-behaviour tests: -strict turns baseline-coverage loss
+// into exit 1, and -explain attributes a synthetically injected
+// regression (the speculation safety rails removed: confidence floors
+// at minimum, squash gate disabled) down to a named CPI slot and a
+// named transform. The manifest directories are generated in-process
+// with the same harness the CLIs use; sccdiff itself runs via `go run`
+// so the exit-code contract is pinned end to end.
+
+import (
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sccsim/internal/harness"
+	"sccsim/internal/obs"
+	"sccsim/internal/pipeline"
+	"sccsim/internal/scc"
+	"sccsim/internal/workloads"
+)
+
+// writeSweepDir simulates one configuration and writes a one-entry
+// manifest directory (manifest + index.json) the way sccbench -json does.
+func writeSweepDir(t *testing.T, dir string, cfg pipeline.Config) {
+	t.Helper()
+	w, ok := workloads.ByName("xalancbmk")
+	if !ok {
+		t.Fatal("unknown workload xalancbmk")
+	}
+	res, err := harness.RunOne(cfg, w, harness.Options{
+		MaxUops: 20_000, Journal: true, SampleEvery: 5_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	man := res.Manifest()
+	file := fmt.Sprintf("%s-%s.json", res.Workload, man.ConfigHash[:12])
+	if err := man.WriteFile(filepath.Join(dir, file)); err != nil {
+		t.Fatal(err)
+	}
+	ix := obs.NewIndex()
+	ix.Add(file, "clitest", man)
+	if err := ix.WriteFile(filepath.Join(dir, "index.json")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runDiff(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	out, err := exec.Command("go", append([]string{"run", "./cmd/sccdiff"}, args...)...).CombinedOutput()
+	return string(out), err
+}
+
+// TestCLIDiffExplainNamesSlotAndTransform: the acceptance criterion —
+// on a regressed entry, sccdiff -explain must name the dominant CPI
+// slot and the top shifted transform, and still exit 1 for the gate.
+func TestCLIDiffExplainNamesSlotAndTransform(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI builds in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	writeSweepDir(t, baseDir, pipeline.IcelakeSCC(scc.LevelFull))
+	bad := pipeline.IcelakeSCC(scc.LevelFull)
+	bad.SCC.VPConfThreshold = 1
+	bad.SCC.BPConfThreshold = 1
+	bad.UC.StreamConfThreshold = 0
+	bad.UC.SquashGate = 0
+	writeSweepDir(t, curDir, bad)
+
+	out, err := runDiff(t, "-explain", baseDir, curDir)
+	if err == nil {
+		t.Fatalf("regressed diff exited 0:\n%s", out)
+	}
+	if !strings.Contains(out, "exit status 1") {
+		t.Fatalf("regressed diff did not exit 1:\n%s", out)
+	}
+	if !strings.Contains(out, "dominant slot: badspec_squash") {
+		t.Errorf("-explain did not name the dominant CPI slot:\n%s", out)
+	}
+	if !strings.Contains(out, "top shifted transform:") {
+		t.Errorf("-explain did not rank a transform:\n%s", out)
+	}
+	if !strings.Contains(out, "first divergent window:") {
+		t.Errorf("-explain did not localize a divergence interval:\n%s", out)
+	}
+
+	// Without -explain the gate still fails but carries no attribution.
+	out, err = runDiff(t, baseDir, curDir)
+	if err == nil {
+		t.Fatalf("regressed diff exited 0:\n%s", out)
+	}
+	if strings.Contains(out, "dominant slot:") {
+		t.Errorf("attribution printed without -explain:\n%s", out)
+	}
+
+	// -explain-all explains matched entries even when nothing regressed.
+	out, err = runDiff(t, "-explain-all", baseDir, baseDir)
+	if err != nil {
+		t.Fatalf("self-diff failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "regression explanation — xalancbmk") {
+		t.Errorf("-explain-all did not explain the matched entry:\n%s", out)
+	}
+}
+
+// TestCLIDiffStrictFailsOnCoverageLoss: entries present only in the
+// base index are informational by default, exit 1 under -strict.
+func TestCLIDiffStrictFailsOnCoverageLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI builds in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	writeSweepDir(t, baseDir, pipeline.IcelakeSCC(scc.LevelFull))
+
+	// The current side diffs cleanly but lost the base's entry: its
+	// (single-entry) index names a different experiment, so no keys match.
+	w, _ := workloads.ByName("xalancbmk")
+	res, err := harness.RunOne(pipeline.IcelakeSCC(scc.LevelFull), w, harness.Options{MaxUops: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	man := res.Manifest()
+	file := fmt.Sprintf("%s-%s.json", res.Workload, man.ConfigHash[:12])
+	if err := man.WriteFile(filepath.Join(curDir, file)); err != nil {
+		t.Fatal(err)
+	}
+	ix := obs.NewIndex()
+	ix.Add(file, "renamed-experiment", man)
+	if err := ix.WriteFile(filepath.Join(curDir, "index.json")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Default: coverage loss is informational, exit 0.
+	out, err := runDiff(t, baseDir, curDir)
+	if err != nil {
+		t.Fatalf("non-strict diff failed on coverage loss: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "only in base:") {
+		t.Errorf("coverage loss not reported:\n%s", out)
+	}
+
+	// -strict: the same comparison is a failure.
+	out, err = runDiff(t, "-strict", baseDir, curDir)
+	if err == nil {
+		t.Fatalf("-strict accepted baseline coverage loss:\n%s", out)
+	}
+	if !strings.Contains(out, "exit status 1") {
+		t.Fatalf("-strict did not exit 1:\n%s", out)
+	}
+	if !strings.Contains(out, "baseline coverage lost") {
+		t.Errorf("-strict stderr missing the coverage-loss message:\n%s", out)
+	}
+}

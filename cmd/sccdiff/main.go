@@ -4,6 +4,7 @@
 //
 //	sccdiff BENCH_pr2.json manifests/
 //	sccdiff -v -ipc-drop 0.02 old/index.json new/index.json
+//	sccdiff -explain -format markdown base-manifests new-manifests
 //
 // Each argument is an index JSON file (BENCH_*.json, index.json) or a
 // manifest directory containing index.json. Entries are matched by
@@ -11,18 +12,36 @@
 // direction-aware (IPC and uop-reduction must not fall, energy must not
 // rise).
 //
-// Exit status: 0 no regressions, 1 regressions found, 2 usage or I/O
-// error.
+// -explain opens the per-run manifests behind every regressed entry and
+// appends a regression-attribution report (CPI-stack delta
+// decomposition, per-transform opt-report diff, interval-divergence
+// localization); -explain-all explains every matched entry. -strict
+// additionally turns baseline-coverage loss (entries present only in
+// the base index) into a failure.
+//
+// Exit status: 0 no regressions, 1 regressions found (or, with -strict,
+// baseline coverage lost), 2 usage or I/O error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"sccsim/internal/explain"
 	"sccsim/internal/obs"
 	"sccsim/internal/telemetry"
 )
+
+// entryExplanation is one key's attribution in the -format json output:
+// either the explanation, or why it could not be produced (missing or
+// stale manifests never mask the gate result).
+type entryExplanation struct {
+	Key         string               `json:"key"`
+	Error       string               `json:"error,omitempty"`
+	Explanation *explain.Explanation `json:"explanation,omitempty"`
+}
 
 func main() {
 	def := obs.DefaultThresholds()
@@ -33,9 +52,12 @@ func main() {
 			"max tolerated absolute dynamic_uop_reduction decrease")
 		energyRise = flag.Float64("energy-rise", def.EnergyRise,
 			"max tolerated relative energy_j increase")
-		format  = flag.String("format", "text", "output format: text | markdown")
-		verbose = flag.Bool("v", false, "print all matched entries, not just regressions")
-		version = flag.Bool("version", false, "print the simulator version and exit")
+		format     = flag.String("format", "text", "output format: text | markdown | json")
+		verbose    = flag.Bool("v", false, "print all matched entries, not just regressions")
+		explainReg = flag.Bool("explain", false, "attribute every regressed entry via the manifests behind it (CPI stack, transforms, interval divergence)")
+		explainAll = flag.Bool("explain-all", false, "like -explain, but for every matched entry")
+		strict     = flag.Bool("strict", false, "exit 1 when base entries are missing from new (baseline-coverage loss)")
+		version    = flag.Bool("version", false, "print the simulator version and exit")
 
 		logLevel    = flag.String("log-level", "warn", "structured log threshold on stderr: "+telemetry.LogLevels)
 		logFormat   = flag.String("log-format", "text", "structured log encoding: "+telemetry.LogFormats)
@@ -51,8 +73,8 @@ func main() {
 		fmt.Println(obs.VersionString("sccdiff"))
 		os.Exit(0)
 	}
-	if *format != "text" && *format != "markdown" {
-		fmt.Fprintf(os.Stderr, "sccdiff: unknown -format %q (text | markdown)\n", *format)
+	if *format != "text" && *format != "markdown" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "sccdiff: unknown -format %q (text | markdown | json)\n", *format)
 		os.Exit(2)
 	}
 	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
@@ -84,17 +106,102 @@ func main() {
 		ElimDrop:   *elimDrop,
 		EnergyRise: *energyRise,
 	})
-	if *format == "markdown" {
-		rep.WriteMarkdown(os.Stdout)
-	} else {
-		rep.Write(os.Stdout, *verbose)
+
+	var explanations []entryExplanation
+	if *explainReg || *explainAll {
+		explanations = explainEntries(rep, base, cur, flag.Arg(0), flag.Arg(1), *explainAll)
 	}
-	if rep.Regressions > 0 {
-		logger.Warn("metric regressions found", "regressions", rep.Regressions)
+
+	switch *format {
+	case "markdown":
+		rep.WriteMarkdown(os.Stdout)
+		for _, ee := range explanations {
+			fmt.Println()
+			if ee.Error != "" {
+				fmt.Printf("### explanation: `%s`\n\n_unavailable: %s_\n", ee.Key, ee.Error)
+				continue
+			}
+			ee.Explanation.WriteMarkdown(os.Stdout)
+		}
+	case "json":
+		out := struct {
+			Report       *obs.DiffReport    `json:"report"`
+			Explanations []entryExplanation `json:"explanations,omitempty"`
+		}{rep, explanations}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	default:
+		rep.Write(os.Stdout, *verbose)
+		for _, ee := range explanations {
+			fmt.Println()
+			if ee.Error != "" {
+				fmt.Printf("explanation for %s unavailable: %s\n", ee.Key, ee.Error)
+				continue
+			}
+			ee.Explanation.WriteText(os.Stdout)
+		}
+	}
+
+	fail := rep.Regressions > 0
+	if *strict && len(rep.OnlyBase) > 0 {
+		fmt.Fprintf(os.Stderr, "sccdiff: strict: %d base entr%s missing from new (baseline coverage lost)\n",
+			len(rep.OnlyBase), plural(len(rep.OnlyBase), "y", "ies"))
+		fail = true
+	}
+	if fail {
+		if rep.Regressions > 0 {
+			logger.Warn("metric regressions found", "regressions", rep.Regressions)
+		}
 		dumpMetrics(*metricsDump)
 		os.Exit(1)
 	}
 	dumpMetrics(*metricsDump)
+}
+
+// explainEntries attributes the regressed (or, with all, every matched)
+// entries by loading the manifests behind both sides of each key.
+// Failures to load or explain degrade to per-entry errors: index-only
+// baselines (BENCH_pr*.json snapshots without manifest files) still
+// diff, they just cannot be explained.
+func explainEntries(rep *obs.DiffReport, base, cur *obs.Index, basePath, curPath string, all bool) []entryExplanation {
+	bk, ck := obs.KeyEntries(base), obs.KeyEntries(cur)
+	var out []entryExplanation
+	for _, e := range rep.Entries {
+		if !e.Regressed && !all {
+			continue
+		}
+		ee := entryExplanation{Key: e.Key}
+		bm, err := explain.LoadEntryManifest(basePath, bk[e.Key])
+		if err != nil {
+			ee.Error = fmt.Sprintf("base: %v", err)
+			out = append(out, ee)
+			continue
+		}
+		cm, err := explain.LoadEntryManifest(curPath, ck[e.Key])
+		if err != nil {
+			ee.Error = fmt.Sprintf("new: %v", err)
+			out = append(out, ee)
+			continue
+		}
+		ex, err := explain.Explain(bm, cm, explain.Options{})
+		if err != nil {
+			ee.Error = err.Error()
+			out = append(out, ee)
+			continue
+		}
+		ex.Key = e.Key
+		ee.Explanation = ex
+		out = append(out, ee)
+	}
+	return out
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // dumpMetrics writes the -metrics-dump exposition; sccdiff exits via

@@ -101,6 +101,11 @@ func smoke(workers, queue int) error {
 		return fmt.Errorf("cache probe manifest differs from the job manifest")
 	}
 
+	// Regression attribution between two warm cache entries.
+	if err := smokeCompare(client, base, cold.ConfigHash); err != nil {
+		return fmt.Errorf("v1/compare: %w", err)
+	}
+
 	// Metrics must reflect what just happened.
 	raw, err := fetch(client, base+"/metrics")
 	if err != nil {
@@ -199,6 +204,7 @@ func smokeProm(client *http.Client, base, jobBody string) error {
 		"sccserve_uptime_seconds", "sccserve_draining",
 		"sccserve_job_latency_p50_milliseconds", "sccserve_job_latency_p99_milliseconds",
 		"sccserve_job_latency_seconds_count", "sccserve_run_wall_seconds_count",
+		"sccserve_compare_total", "telemetry_flight_dropped_total",
 		"runner_jobs_completed_total", "process_uptime_seconds",
 	}
 	for _, name := range required {
@@ -231,6 +237,70 @@ func smokeProm(client *http.Client, base, jobBody string) error {
 	}
 	fmt.Printf("smoke: exposition ok (%d series, %d TYPE headers, counters monotonic)\n",
 		len(first.Samples), len(first.Types))
+	return nil
+}
+
+// smokeCompare warms a second cache entry (the baseline preset of the
+// same workload) and exercises GET /v1/compare on the pair: the
+// Explanation must name the workload and a dominant CPI slot, and a
+// repeated request must return byte-identical JSON — the explanation is
+// a pure function of the two cached manifests.
+func smokeCompare(client *http.Client, base, sccHash string) error {
+	body := fmt.Sprintf(`{"workload":"xalancbmk","preset":"baseline","max_uops":%d,"wait":true}`, smokeMaxUops)
+	baseline, err := submit(client, base, body)
+	if err != nil {
+		return fmt.Errorf("baseline submit: %w", err)
+	}
+	url := base + "/v1/compare?base=" + baseline.ConfigHash + "&cur=" + sccHash
+	first, err := fetch(client, url)
+	if err != nil {
+		return err
+	}
+	var ex struct {
+		Workload string `json:"workload"`
+		CPIStack *struct {
+			Dominant string     `json:"dominant_slot"`
+			Slots    []struct{} `json:"slots"`
+		} `json:"cpi_stack_delta"`
+	}
+	if err := json.Unmarshal(first, &ex); err != nil {
+		return fmt.Errorf("explanation decode: %w", err)
+	}
+	if ex.Workload != "xalancbmk" {
+		return fmt.Errorf("explanation workload = %q, want xalancbmk", ex.Workload)
+	}
+	if ex.CPIStack == nil || len(ex.CPIStack.Slots) != 9 || ex.CPIStack.Dominant == "" {
+		return fmt.Errorf("explanation carries no nine-slot CPI stack delta: %s", first)
+	}
+	repeat, err := fetch(client, url)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(first, repeat) {
+		return fmt.Errorf("repeated compare not byte-identical (%d vs %d bytes)", len(first), len(repeat))
+	}
+	// Unknown hashes and short hashes must fail loudly, not explain junk.
+	if err := expectStatusGet(client, base+"/v1/compare?base="+strings.Repeat("0", 64)+"&cur="+sccHash, http.StatusNotFound); err != nil {
+		return err
+	}
+	if err := expectStatusGet(client, base+"/v1/compare?base=abc&cur=def", http.StatusBadRequest); err != nil {
+		return err
+	}
+	fmt.Printf("smoke: compare ok (dominant slot %s, %d explanation bytes stable)\n",
+		ex.CPIStack.Dominant, len(first))
+	return nil
+}
+
+func expectStatusGet(client *http.Client, url string, want int) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != want {
+		return fmt.Errorf("GET %s = %d, want %d", url, resp.StatusCode, want)
+	}
 	return nil
 }
 

@@ -1,0 +1,60 @@
+package explain
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sccsim/internal/obs"
+)
+
+// LoadEntryManifest resolves and loads the per-run manifest behind one
+// index entry. indexPath is the path the index was loaded from (a
+// manifest directory, or an index file such as BENCH_pr5.json whose
+// manifests live in the same directory or a sibling manifests/ dir).
+// The loaded manifest's config_hash must match the entry's — index
+// snapshots outlive manifest directories, and a same-named file from a
+// different sweep era must not silently explain the wrong run.
+func LoadEntryManifest(indexPath string, e *obs.IndexEntry) (*obs.Manifest, error) {
+	if e == nil {
+		return nil, fmt.Errorf("explain: nil index entry")
+	}
+	if e.File == "" {
+		return nil, fmt.Errorf("explain: index entry %s/%s has no manifest file (index-only snapshot)",
+			e.Experiment, e.Workload)
+	}
+
+	var dirs []string
+	if fi, err := os.Stat(indexPath); err == nil && fi.IsDir() {
+		dirs = []string{indexPath}
+	} else {
+		d := filepath.Dir(indexPath)
+		// Index files like BENCH_*.json usually sit next to the manifests
+		// directory their entries were copied from.
+		dirs = []string{d, filepath.Join(d, "manifests")}
+	}
+
+	var firstErr error
+	for _, dir := range dirs {
+		path := filepath.Join(dir, e.File)
+		if _, err := os.Stat(path); err != nil {
+			continue
+		}
+		m, err := obs.ReadManifest(path)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if m.ConfigHash != e.ConfigHash {
+			return nil, fmt.Errorf("explain: %s holds config_hash %s, index entry expects %s (stale manifest directory?)",
+				path, hash12(m.ConfigHash), hash12(e.ConfigHash))
+		}
+		return m, nil
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return nil, fmt.Errorf("explain: manifest %s not found near %s", e.File, indexPath)
+}

@@ -1,0 +1,164 @@
+package explain
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Encode writes the explanation as deterministic indented JSON — the
+// /v1/compare wire format and the golden-pinned canonical rendering.
+func (ex *Explanation) Encode(w io.Writer) error {
+	out, err := json.MarshalIndent(ex, "", "  ")
+	if err != nil {
+		return fmt.Errorf("explain: encode: %w", err)
+	}
+	_, err = w.Write(append(out, '\n'))
+	return err
+}
+
+func hash12(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	if h == "" {
+		return "(unknown)"
+	}
+	return h
+}
+
+func pct(f float64) string { return fmt.Sprintf("%+.2f%%", 100*f) }
+
+// relStr renders a movement's relative change; a movement off a zero
+// base has no defined relative change (Rel is 0 by convention).
+func relStr(m Movement) string {
+	if m.Base == 0 && m.Delta != 0 {
+		return "n/a"
+	}
+	return pct(m.Rel)
+}
+
+// WriteText renders the explanation as a human-readable report, in the
+// style of the opt-report's text rendering.
+func (ex *Explanation) WriteText(w io.Writer) {
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+
+	title := "regression explanation — " + ex.Workload
+	if ex.Key != "" {
+		title += " [" + ex.Key + "]"
+	}
+	p("%s (%s)\n", title, ex.SimVersion)
+	p("%s\n", strings.Repeat("-", len(title)+len(ex.SimVersion)+3))
+	p("base %s -> cur %s\n\n", hash12(ex.BaseHash), hash12(ex.CurHash))
+
+	p("metric movement:\n")
+	mv := func(name string, m Movement) {
+		p("  %-22s %12.6g -> %12.6g  (%+.4g, %s)\n", name, m.Base, m.Cur, m.Delta, relStr(m))
+	}
+	mv("ipc", ex.IPC)
+	mv("dynamic_uop_reduction", ex.UopReduction)
+	mv("energy_j", ex.EnergyJ)
+	if ex.SquashPenaltyCycles != nil {
+		mv("squash_penalty_cycles", *ex.SquashPenaltyCycles)
+	}
+
+	if sd := ex.CPIStack; sd != nil {
+		p("\ncpi-stack delta (cycles/uop %.6g -> %.6g, delta %+.6g):\n",
+			sd.BaseCPU, sd.CurCPU, sd.Delta)
+		p("  %-20s %12s %12s %12s %9s\n", "slot", "base-cpu", "cur-cpu", "delta", "share")
+		for _, s := range sd.Slots {
+			p("  %-20s %12.6f %12.6f %+12.6f %8.1f%%\n",
+				s.Slot, s.BaseCPU, s.CurCPU, s.Delta, 100*s.Share)
+		}
+		p("  dominant slot: %s\n", sd.Dominant)
+	}
+
+	if len(ex.Transforms) > 0 {
+		p("\ntransform attribution (shift = d(dyn-wins) - d(dyn-losses), ranked by |shift|):\n")
+		p("  %-12s %16s %20s %16s %10s\n", "kind", "static b->c", "dyn-wins b->c", "dyn-losses b->c", "shift")
+		for _, t := range ex.Transforms {
+			p("  %-12s %7d -> %5d %10d -> %7d %7d -> %5d %+10d\n",
+				t.Kind, t.StaticBase, t.StaticCur, t.WinsBase, t.WinsCur,
+				t.LossesBase, t.LossesCur, t.Shift)
+		}
+		p("  top shifted transform: %s\n", ex.Transforms[0].Kind)
+	}
+
+	if d := ex.Divergence; d != nil {
+		p("\ninterval divergence:\n")
+		p("  first divergent window: #%d of %d (end_uops %d): ipc %.6g -> %.6g (%+.4g, floor %.4g)\n",
+			d.Window, d.Windows, d.EndUops, d.BaseIPC, d.CurIPC, d.Delta, d.NoiseFloor)
+		p("  dominant slot in window: %s (%+.6g cycles/uop)\n", d.Dominant, d.DominantDelta)
+	}
+
+	if len(ex.Notes) > 0 {
+		p("\nnotes:\n")
+		for _, n := range ex.Notes {
+			p("  - %s\n", n)
+		}
+	}
+}
+
+// WriteMarkdown renders the explanation as GitHub-flavoured Markdown —
+// the $GITHUB_STEP_SUMMARY format a red CI diff publishes.
+func (ex *Explanation) WriteMarkdown(w io.Writer) {
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+
+	head := ex.Workload
+	if ex.Key != "" {
+		head = "`" + ex.Key + "`"
+	}
+	p("### explanation: %s\n\n", head)
+	p("base `%s` → cur `%s` (%s)\n\n", hash12(ex.BaseHash), hash12(ex.CurHash), ex.SimVersion)
+
+	p("| metric | base | cur | delta | rel |\n|---|---:|---:|---:|---:|\n")
+	mv := func(name string, m Movement) {
+		p("| %s | %.6g | %.6g | %+.4g | %s |\n", name, m.Base, m.Cur, m.Delta, relStr(m))
+	}
+	mv("ipc", ex.IPC)
+	mv("dynamic_uop_reduction", ex.UopReduction)
+	mv("energy_j", ex.EnergyJ)
+	if ex.SquashPenaltyCycles != nil {
+		mv("squash_penalty_cycles", *ex.SquashPenaltyCycles)
+	}
+	p("\n")
+
+	if sd := ex.CPIStack; sd != nil {
+		p("**CPI-stack delta** — cycles/uop %.6g → %.6g (Δ %+.6g), dominant slot **%s**\n\n",
+			sd.BaseCPU, sd.CurCPU, sd.Delta, sd.Dominant)
+		p("| slot | base cpu | cur cpu | delta | share |\n|---|---:|---:|---:|---:|\n")
+		for _, s := range sd.Slots {
+			slot := s.Slot
+			if slot == sd.Dominant {
+				slot = "**" + slot + "**"
+			}
+			p("| %s | %.6f | %.6f | %+.6f | %.1f%% |\n", slot, s.BaseCPU, s.CurCPU, s.Delta, 100*s.Share)
+		}
+		p("\n")
+	}
+
+	if len(ex.Transforms) > 0 {
+		p("**Transform attribution** — top shifted: **%s**\n\n", ex.Transforms[0].Kind)
+		p("| transform | static | dyn-wins | dyn-losses | shift |\n|---|---:|---:|---:|---:|\n")
+		for _, t := range ex.Transforms {
+			p("| %s | %d → %d | %d → %d | %d → %d | %+d |\n",
+				t.Kind, t.StaticBase, t.StaticCur, t.WinsBase, t.WinsCur,
+				t.LossesBase, t.LossesCur, t.Shift)
+		}
+		p("\n")
+	}
+
+	if d := ex.Divergence; d != nil {
+		p("**Interval divergence** — window #%d of %d (end_uops %d): ipc %.6g → %.6g (Δ %+.4g, floor %.4g); dominant slot **%s** (%+.6g cycles/uop)\n\n",
+			d.Window, d.Windows, d.EndUops, d.BaseIPC, d.CurIPC, d.Delta, d.NoiseFloor,
+			d.Dominant, d.DominantDelta)
+	}
+
+	for _, n := range ex.Notes {
+		p("- _%s_\n", n)
+	}
+	if len(ex.Notes) > 0 {
+		p("\n")
+	}
+}

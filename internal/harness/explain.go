@@ -1,0 +1,17 @@
+package harness
+
+import (
+	"sccsim/internal/explain"
+	"sccsim/internal/obs"
+)
+
+// ExplainManifests attributes the metric movement between two run
+// manifests of the same workload (CPI-stack delta decomposition,
+// per-transform opt-report diff, interval-divergence localization) with
+// default noise thresholds. It is the batch-sweep entry point to the
+// attribution engine behind `sccdiff -explain` and sccserve's
+// GET /v1/compare; pair it with LookupHash to explain two cached runs by
+// config hash.
+func ExplainManifests(base, cur *obs.Manifest) (*explain.Explanation, error) {
+	return explain.Explain(base, cur, explain.Options{})
+}

@@ -99,6 +99,13 @@ func diffKey(e *IndexEntry, ordinal int) string {
 	return fmt.Sprintf("%s/%s/mu%d#%d", e.Experiment, e.Workload, e.MaxUops, ordinal)
 }
 
+// KeyEntries indexes entries by their diff match key, assigning ordinals
+// in slice order (the sweep's deterministic enumeration order). The keys
+// are the same strings DiffIndexes emits in EntryDiff.Key /
+// OnlyBase/OnlyNew, which lets callers (sccdiff -explain) map a report
+// entry back to the index entries — and manifests — behind it.
+func KeyEntries(ix *Index) map[string]*IndexEntry { return keyEntries(ix) }
+
 // keyEntries indexes entries by diffKey, assigning ordinals in slice
 // order (the sweep's deterministic enumeration order).
 func keyEntries(ix *Index) map[string]*IndexEntry {

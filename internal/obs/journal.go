@@ -494,8 +494,12 @@ func (r *SCCReport) Summary() *SCCReportSummary {
 		Lines:     r.Lines,
 		OptStream: r.Select.FromOpt,
 		GateTrips: r.Select.GateTrips,
-		Squashes:  r.Squash.Squashes,
-		UopsSaved: r.UopsSaved,
+		Squashes:     r.Squash.Squashes,
+		SquashCycles: r.Squash.PenaltyCycles,
+		UopsSaved:    r.UopsSaved,
+	}
+	if len(r.Transforms) > 0 {
+		s.Transforms = append([]TransformTally(nil), r.Transforms...)
 	}
 	if len(r.TopBySaved) > 0 {
 		s.TopLinePC = r.TopBySaved[0].PC
@@ -513,8 +517,18 @@ type SCCReportSummary struct {
 	OptStream uint64        `json:"opt_streams"`
 	GateTrips uint64        `json:"gate_trips"`
 	Squashes  uint64        `json:"squashes"`
-	UopsSaved uint64        `json:"uops_saved"`
-	TopLinePC uint64        `json:"top_line_pc,omitempty"`
+	// SquashCycles is the squash penalty-cycle total (Squash.PenaltyCycles
+	// in the full report) — the dyn-loss denominator regression
+	// attribution diffs against.
+	SquashCycles uint64 `json:"squash_cycles,omitempty"`
+	UopsSaved    uint64 `json:"uops_saved"`
+	// Transforms preserves the full report's per-transform win/loss
+	// tallies so manifest pairs can be diffed per transform
+	// (internal/explain) without re-running the journal. omitempty keeps
+	// pre-extension manifests decodable (schema additions don't bump
+	// SchemaVersion; see obs.go).
+	Transforms []TransformTally `json:"transforms,omitempty"`
+	TopLinePC  uint64           `json:"top_line_pc,omitempty"`
 }
 
 // Encode writes the report as deterministic indented JSON.

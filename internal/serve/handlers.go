@@ -2,11 +2,13 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
 	"strconv"
 
+	"sccsim/internal/explain"
 	"sccsim/internal/harness"
 	"sccsim/internal/obs"
 	"sccsim/internal/pipeline"
@@ -52,6 +54,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/cache/{hash}", s.handleCacheProbe)
+	s.mux.HandleFunc("GET /v1/compare", s.handleCompare)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -277,6 +280,69 @@ func (s *Server) handleCacheProbe(w http.ResponseWriter, r *http.Request) {
 	var buf jsonBuffer
 	if err := man.Encode(&buf); err != nil {
 		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.b)
+}
+
+// handleCompare answers GET /v1/compare?base=<hash>&cur=<hash>: both
+// sides resolve through the content-addressed result cache and the
+// regression-attribution engine explains the movement between them. The
+// Explanation is a pure function of the two cached manifests, so
+// repeated requests for the same pair return byte-identical JSON.
+// 404 = unknown hash (naming the side); 409 = the cached runs are not
+// comparable (different workloads).
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	s.met.compares.Inc()
+	tr, root := admitTrace(w, r)
+	defer root.End()
+	fail := func(code int, format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		root.SetError(msg)
+		writeErr(w, code, "%s", msg)
+	}
+	q := r.URL.Query()
+	baseHash, curHash := q.Get("base"), q.Get("cur")
+	if len(baseHash) < 12 || len(curHash) < 12 {
+		fail(http.StatusBadRequest, "base and cur must be config hashes of at least 12 hex characters")
+		return
+	}
+	resolve := func(side, hash string) *obs.Manifest {
+		sp := tr.StartSpan("compare.resolve."+side, root.SpanID())
+		defer sp.End()
+		m := harness.LookupHash(s.cfg.CacheDir, hash)
+		sp.SetAttr("hit", m != nil)
+		return m
+	}
+	base := resolve("base", baseHash)
+	if base == nil {
+		fail(http.StatusNotFound, "no cache entry for base %s", baseHash)
+		return
+	}
+	cur := resolve("cur", curHash)
+	if cur == nil {
+		fail(http.StatusNotFound, "no cache entry for cur %s", curHash)
+		return
+	}
+	esp := tr.StartSpan("compare.explain", root.SpanID())
+	ex, err := harness.ExplainManifests(base, cur)
+	if err != nil {
+		esp.SetError(err.Error())
+		esp.End()
+		var inc *explain.IncomparableError
+		if errors.As(err, &inc) {
+			fail(http.StatusConflict, "%s", err)
+			return
+		}
+		fail(http.StatusInternalServerError, "%v", err)
+		return
+	}
+	esp.End()
+	root.SetAttr("workload", ex.Workload)
+	var buf jsonBuffer
+	if err := ex.Encode(&buf); err != nil {
+		fail(http.StatusInternalServerError, "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -35,6 +35,7 @@ type metrics struct {
 	cacheMisses *telemetry.Counter
 	httpReqs    *telemetry.Counter
 	stalls      *telemetry.Counter
+	compares    *telemetry.Counter
 	latency     *telemetry.Histogram // end-to-end job latency, seconds
 	runWall     *telemetry.Histogram // run-phase wall, seconds
 
@@ -62,6 +63,7 @@ func (s *Server) initMetrics() {
 	m.cacheMisses = r.Counter("sccserve_cache_misses_total", "Completed jobs that simulated (cache enabled, no entry).")
 	m.httpReqs = r.Counter("sccserve_http_requests_total", "HTTP requests served (all endpoints).")
 	m.stalls = r.Counter("sccserve_queue_stalls_total", "Jobs that waited longer than the stall threshold for a worker.")
+	m.compares = r.Counter("sccserve_compare_total", "GET /v1/compare explanations attempted (all outcomes).")
 	m.inFlight = r.Gauge("sccserve_jobs_in_flight", "Jobs currently occupying a worker slot.")
 	m.latency = r.Histogram("sccserve_job_latency_seconds", "End-to-end job latency (submit to done).", nil)
 	m.runWall = r.Histogram("sccserve_run_wall_seconds", "Run-phase wall time of simulated (non-cached) jobs.", nil)
@@ -76,6 +78,9 @@ func (s *Server) initMetrics() {
 	})
 	r.GaugeFunc("sccserve_uptime_seconds", "Seconds since the server started.", func() (float64, bool) {
 		return time.Since(m.start).Seconds(), true
+	})
+	r.CounterFunc("telemetry_flight_dropped_total", "Flight-recorder events evicted from the ring (recorded minus retained).", func() float64 {
+		return float64(s.flight.Dropped())
 	})
 	r.GaugeFunc("sccserve_draining", "1 while the server is draining, 0 otherwise.", func() (float64, bool) {
 		if s.draining.Load() {

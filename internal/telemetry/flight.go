@@ -37,10 +37,11 @@ type FlightEvent struct {
 type Recorder struct {
 	min slog.Level
 
-	mu    sync.Mutex
-	buf   []FlightEvent
-	next  int    // ring write cursor
-	total uint64 // events ever recorded (= last Seq)
+	mu      sync.Mutex
+	buf     []FlightEvent
+	next    int    // ring write cursor
+	total   uint64 // events ever recorded (= last Seq)
+	dropped uint64 // events evicted by the ring (total - retained)
 }
 
 // NewRecorder builds a recorder retaining the last capacity events
@@ -77,6 +78,7 @@ func (rec *Recorder) push(ev FlightEvent) {
 	} else {
 		rec.buf[rec.next] = ev
 		rec.next = (rec.next + 1) % cap(rec.buf)
+		rec.dropped++
 	}
 	rec.mu.Unlock()
 }
@@ -98,16 +100,26 @@ func (rec *Recorder) Total() uint64 {
 	return rec.total
 }
 
+// Dropped reports how many recorded events the ring has evicted — the
+// explicit counter behind telemetry_flight_dropped_total (always equals
+// Total minus retained events; previously only inferable from Seq gaps).
+func (rec *Recorder) Dropped() uint64 {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return rec.dropped
+}
+
 // FlightDump is the /debug/flight JSON document.
 type FlightDump struct {
 	Capacity int           `json:"capacity"`
-	Total    uint64        `json:"total"` // events ever recorded
+	Total    uint64        `json:"total"`   // events ever recorded
+	Dropped  uint64        `json:"dropped"` // events evicted from the ring
 	Events   []FlightEvent `json:"events"`
 }
 
 // WriteJSON renders the dump document.
 func (rec *Recorder) WriteJSON(w io.Writer) error {
-	dump := FlightDump{Capacity: cap(rec.buf), Total: rec.Total(), Events: rec.Events()}
+	dump := FlightDump{Capacity: cap(rec.buf), Total: rec.Total(), Dropped: rec.Dropped(), Events: rec.Events()}
 	out, err := json.MarshalIndent(dump, "", "  ")
 	if err != nil {
 		return err
@@ -120,7 +132,8 @@ func (rec *Recorder) WriteJSON(w io.Writer) error {
 // SIGQUIT incident format.
 func (rec *Recorder) WriteText(w io.Writer) {
 	evs := rec.Events()
-	fmt.Fprintf(w, "flight recorder: %d retained of %d recorded events\n", len(evs), rec.Total())
+	fmt.Fprintf(w, "flight recorder: %d retained of %d recorded events (%d dropped)\n",
+		len(evs), rec.Total(), rec.Dropped())
 	for _, ev := range evs {
 		fmt.Fprintf(w, "  #%-6d %s %-5s %s", ev.Seq, ev.Time.Format("15:04:05.000"), ev.Level, ev.Msg)
 		if len(ev.Attrs) > 0 {

@@ -32,6 +32,48 @@ func TestRecorderRingEviction(t *testing.T) {
 	}
 }
 
+// TestRecorderDroppedCounter: the explicit eviction counter must agree
+// with the Seq-gap inference across the wraparound — zero until the ring
+// first fills, then exactly total-capacity, with the dump documents
+// carrying it.
+func TestRecorderDroppedCounter(t *testing.T) {
+	const capacity, events = 4, 11
+	rec := NewRecorder(capacity)
+	for i := 1; i <= capacity; i++ {
+		rec.Record(slog.LevelInfo, fmt.Sprintf("event-%d", i))
+		if rec.Dropped() != 0 {
+			t.Fatalf("dropped %d events before the ring filled", rec.Dropped())
+		}
+	}
+	for i := capacity + 1; i <= events; i++ {
+		rec.Record(slog.LevelInfo, fmt.Sprintf("event-%d", i))
+	}
+	const wantDropped = events - capacity
+	if rec.Dropped() != wantDropped {
+		t.Fatalf("dropped = %d, want %d", rec.Dropped(), wantDropped)
+	}
+	// Seq-gap cross-check: first retained Seq == dropped + 1.
+	if evs := rec.Events(); evs[0].Seq != wantDropped+1 {
+		t.Fatalf("first retained seq %d, want %d", evs[0].Seq, wantDropped+1)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var dump FlightDump
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.Dropped != wantDropped || dump.Total != events {
+		t.Fatalf("dump dropped=%d total=%d, want %d/%d", dump.Dropped, dump.Total, wantDropped, events)
+	}
+	var text bytes.Buffer
+	rec.WriteText(&text)
+	if !strings.Contains(text.String(), fmt.Sprintf("(%d dropped)", wantDropped)) {
+		t.Fatalf("text dump does not report drops:\n%s", text.String())
+	}
+}
+
 func TestRecorderLevelThreshold(t *testing.T) {
 	rec := NewRecorder(8)
 	rec.Record(slog.LevelDebug, "invisible")

@@ -223,6 +223,29 @@ func (g *gaugeFunc) samples(dst []sample) []sample {
 	return append(dst, sample{series: g.name, value: v})
 }
 
+// counterFunc is a computed counter: a cumulative total owned by another
+// subsystem (e.g. the flight recorder's eviction count), exposed without
+// double-counting state in the registry. The callback must be monotone
+// non-decreasing — Prometheus rate() over a sawtooth lies.
+type counterFunc struct {
+	fn   func() float64
+	name string
+	help string
+}
+
+// CounterFunc registers a computed counter. fn is called at render time
+// and must return a monotone non-decreasing cumulative total.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(name, func() metric { return &counterFunc{name: name, help: help, fn: fn} })
+}
+
+func (c *counterFunc) metricName() string { return c.name }
+func (c *counterFunc) metricHelp() string { return c.help }
+func (c *counterFunc) metricType() string { return "counter" }
+func (c *counterFunc) samples(dst []sample) []sample {
+	return append(dst, sample{series: c.name, value: c.fn()})
+}
+
 // ---------------------------------------------------------------------
 // Histogram
 

@@ -100,6 +100,100 @@ func TestGaugeFuncSuppression(t *testing.T) {
 	}
 }
 
+// TestCounterFunc: a computed counter renders with counter TYPE and
+// tracks its callback across scrapes.
+func TestCounterFunc(t *testing.T) {
+	r := NewRegistry()
+	v := 3.0
+	r.CounterFunc("test_dropped_total", "drops", func() float64 { return v })
+
+	render := func() string {
+		var buf bytes.Buffer
+		if err := WritePrometheus(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	out := render()
+	if !strings.Contains(out, "# TYPE test_dropped_total counter") {
+		t.Errorf("computed counter not typed as counter:\n%s", out)
+	}
+	if !strings.Contains(out, "test_dropped_total 3\n") {
+		t.Errorf("computed counter value missing:\n%s", out)
+	}
+	v = 8
+	if out := render(); !strings.Contains(out, "test_dropped_total 8\n") {
+		t.Errorf("computed counter did not advance:\n%s", out)
+	}
+}
+
+// TestHistogramExemplarRaceLatestWins: two goroutines hammer one bucket
+// with distinct (value, trace) pairs. The winning exemplar must be one
+// of the two written pairs with its value and trace id consistent —
+// the whole *Exemplar swaps atomically, so a torn (value-from-A,
+// trace-from-B) mix can never be observed. Run under -race via
+// `make telemetry-race` / `make check`.
+func TestHistogramExemplarRaceLatestWins(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("race_exemplar_seconds", "h", nil)
+	// Both values land in the first bucket (bound 0.0005).
+	pairs := map[string]float64{"trace-a": 0.0001, "trace-b": 0.0002}
+
+	const perWriter = 10_000
+	var writers sync.WaitGroup
+	for traceID, v := range pairs {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < perWriter; i++ {
+				h.ObserveExemplar(v, traceID)
+			}
+		}()
+	}
+	// Concurrent reader: every snapshot mid-race, not just the final one,
+	// must be an untorn pair.
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if ex := h.exemplars[0].Load(); ex != nil {
+				checkExemplar(t, pairs, ex)
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	<-readerDone
+
+	final := h.exemplars[0].Load()
+	if final == nil {
+		t.Fatal("no exemplar recorded")
+	}
+	checkExemplar(t, pairs, final)
+	if want := int64(perWriter * len(pairs)); h.Count() != want {
+		t.Fatalf("count = %d, want %d", h.Count(), want)
+	}
+}
+
+func checkExemplar(t *testing.T, pairs map[string]float64, ex *Exemplar) {
+	t.Helper()
+	id := ex.Labels["trace_id"]
+	want, ok := pairs[id]
+	if !ok {
+		t.Errorf("exemplar trace_id %q is neither writer's", id)
+		return
+	}
+	if ex.Value != want {
+		t.Errorf("torn exemplar: trace_id %q carries value %v, want %v", id, ex.Value, want)
+	}
+}
+
 func TestConcurrentInstrumentsRace(t *testing.T) {
 	r := NewRegistry()
 	c := r.Counter("race_total", "h")
