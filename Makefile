@@ -5,7 +5,7 @@ GO ?= go
 
 .PHONY: all build test check bench bench-json diff explain figures fig6 fig7 \
         fig8 fig9 fig10 fig11 table1 overhead examples serve serve-smoke \
-        telemetry-race trace-race loadgen clean
+        telemetry-race trace-race snapshot-race loadgen clean
 
 all: build test
 
@@ -23,6 +23,7 @@ check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) snapshot-race
 	$(MAKE) bench-json
 
 # Reduced-scale benchmark suite: one bench per table/figure + ablations.
@@ -32,13 +33,13 @@ bench:
 # Machine-readable benchmark artifact: a reduced-scale fig6+fig7 sweep
 # writes per-run JSON manifests (Manifest.Encode verifies each one
 # round-trips through encoding/json) and the aggregate index becomes
-# BENCH_pr5.json — the headline numbers a perf trajectory can diff.
+# BENCH_pr10.json — the headline numbers a perf trajectory can diff.
 # Committed BENCH_pr*.json baselines from earlier PRs are never rewritten.
 bench-json:
 	rm -rf manifests
 	$(GO) run ./cmd/sccbench -experiment fig6,fig7 \
 	    -workloads xalancbmk,mcf,lbm -max-uops 30000 -json manifests > /dev/null
-	cp manifests/index.json BENCH_pr5.json
+	cp manifests/index.json BENCH_pr10.json
 
 # Regression gate: regenerate the reduced-scale sweep and diff it against
 # the committed PR-2 baseline with direction-aware thresholds (sccdiff
@@ -97,6 +98,16 @@ telemetry-race:
 # scheduler) under the race detector.
 trace-race:
 	$(GO) test -race ./internal/tracing ./internal/harness ./internal/serve
+
+# Snapshot determinism gate: the checkpoint/restore byte-identity
+# contracts — restored machines continuing bit-exactly, snapshot-restored
+# sharded sweeps matching the serial detailed estimator, and store
+# self-healing — explicitly, under the race detector (the fan-out is
+# concurrent). make check runs -race repo-wide; this names the gate so a
+# snapshot regression fails with a pointed target.
+snapshot-race:
+	$(GO) test -race -run 'TestSnapshot' ./internal/pipeline ./internal/harness
+	$(GO) test -race ./internal/snap
 
 # Service-level determinism SLO: hammer an in-process sccserve with
 # concurrent mixed-config requests and assert every manifest is

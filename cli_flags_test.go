@@ -6,7 +6,9 @@ package sccsim
 // which would mask a scripting typo like `-parallel -8`).
 
 import (
+	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -102,6 +104,65 @@ func TestCLIRejectsNonPositiveFlightCapacity(t *testing.T) {
 			}
 			if !strings.Contains(string(out), "-flight-capacity must be >= 1") {
 				t.Errorf("sccserve stderr missing the -flight-capacity message:\n%s", out)
+			}
+		})
+	}
+}
+
+// TestCLIRejectsBadSnapshotFlags pins the snapshot-store flag
+// validation on every command that carries it: a negative size cap and
+// a -snapshot-dir that collides with an existing regular file are both
+// usage errors (exit 2) fired before any simulation or serving starts —
+// the store would otherwise fail on first save, deep inside a sweep.
+func TestCLIRejectsBadSnapshotFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI builds in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	notADir := filepath.Join(t.TempDir(), "slotfile")
+	if err := os.WriteFile(notADir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		tool string
+		args []string
+		msg  string
+	}{
+		{"sccbench/negative-cap", "sccbench",
+			[]string{"-snapshot-max-bytes", "-1", "-experiment", "simpoint-snapshot"},
+			"-snapshot-max-bytes must be >= 0"},
+		{"sccbench/dir-is-file", "sccbench",
+			[]string{"-snapshot-dir", notADir, "-experiment", "simpoint-snapshot"},
+			"-snapshot-dir " + notADir + " exists and is not a directory"},
+		{"sccsim/negative-cap", "sccsim",
+			[]string{"-snapshot-max-bytes", "-1", "-workload", "mcf", "-max-uops", "1000"},
+			"-snapshot-max-bytes must be >= 0"},
+		{"sccsim/dir-is-file", "sccsim",
+			[]string{"-snapshot-dir", notADir, "-workload", "mcf", "-max-uops", "1000"},
+			"-snapshot-dir " + notADir + " exists and is not a directory"},
+		{"sccserve/negative-cap", "sccserve",
+			[]string{"-snapshot-max-bytes", "-1", "-addr", "127.0.0.1:0"},
+			"-snapshot-max-bytes must be >= 0"},
+		{"sccserve/dir-is-file", "sccserve",
+			[]string{"-snapshot-dir", notADir, "-addr", "127.0.0.1:0"},
+			"-snapshot-dir " + notADir + " exists and is not a directory"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", append([]string{"run", "./cmd/" + tc.tool}, tc.args...)...).CombinedOutput()
+			if err == nil {
+				t.Fatalf("%s accepted bad snapshot flags:\n%s", tc.tool, out)
+			}
+			if !strings.Contains(string(out), "exit status 2") {
+				t.Errorf("%s did not exit with usage error 2:\n%s", tc.tool, out)
+			}
+			if !strings.Contains(string(out), tc.msg) {
+				t.Errorf("%s stderr missing %q:\n%s", tc.tool, tc.msg, out)
 			}
 		})
 	}

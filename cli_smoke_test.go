@@ -20,10 +20,19 @@ func TestCLIVersionFlag(t *testing.T) {
 	if _, err := exec.LookPath("go"); err != nil {
 		t.Skip("go toolchain not on PATH")
 	}
+	// The tools that carry the snapshot-store flags parse them alongside
+	// -version, so the matrix doubles as a flag-registration check.
+	extra := map[string][]string{
+		"sccsim":   {"-snapshot-dir", "snapcache", "-snapshot-max-bytes", "1048576"},
+		"sccbench": {"-snapshot-dir", "snapcache", "-snapshot-max-bytes", "1048576"},
+		"sccserve": {"-snapshot-dir", "snapcache", "-snapshot-max-bytes", "1048576"},
+	}
 	for _, tool := range []string{"sccsim", "sccbench", "scctrace", "sccdiff", "sccserve"} {
+		tool := tool
 		t.Run(tool, func(t *testing.T) {
 			t.Parallel()
-			out, err := exec.Command("go", "run", "./cmd/"+tool, "-version").CombinedOutput()
+			args := append([]string{"run", "./cmd/" + tool}, extra[tool]...)
+			out, err := exec.Command("go", append(args, "-version")...).CombinedOutput()
 			if err != nil {
 				t.Fatalf("%s -version: %v\n%s", tool, err, out)
 			}

@@ -273,6 +273,9 @@ type SimPointSweep struct {
 	FullIPC []float64
 	Points  []int // representatives measured per workload
 	Sharded bool
+	// Snapshot marks the snapshot-restored detailed-warmup mode
+	// (SimPointEstimateSnapshot): sharded fan-out, serial-exact results.
+	Snapshot bool
 }
 
 // SimPointSweepRun estimates every workload's whole-program IPC from
@@ -282,7 +285,7 @@ type SimPointSweep struct {
 // otherwise each workload is one serial resumable pass.
 func SimPointSweepRun(opts Options) (*SimPointSweep, error) {
 	ws := opts.workloads()
-	f := &SimPointSweep{Sharded: opts.ShardSimPoints}
+	f := &SimPointSweep{Sharded: opts.ShardSimPoints || opts.SnapshotSimPoints, Snapshot: opts.SnapshotSimPoints}
 	cfg := pipeline.IcelakeSCC(scc.LevelFull)
 	for _, w := range ws {
 		interval := opts.maxUops(w) / simPointIntervalsPerRun
@@ -293,9 +296,12 @@ func SimPointSweepRun(opts Options) (*SimPointSweep, error) {
 			r   *SimPointResult
 			err error
 		)
-		if opts.ShardSimPoints {
+		switch {
+		case opts.SnapshotSimPoints:
+			r, err = SimPointEstimateSnapshot(cfg, w, interval, simPointK, opts)
+		case opts.ShardSimPoints:
 			r, err = SimPointEstimateSharded(cfg, w, interval, simPointK, WarmupFunctional, opts)
-		} else {
+		default:
 			r, err = SimPointEstimate(cfg, w, interval, simPointK, opts)
 		}
 		if err != nil {
@@ -312,7 +318,10 @@ func SimPointSweepRun(opts Options) (*SimPointSweep, error) {
 // Write prints the estimation table.
 func (f *SimPointSweep) Write(w io.Writer) {
 	mode := "serial resumable pass"
-	if f.Sharded {
+	switch {
+	case f.Snapshot:
+		mode = "sharded, snapshot-restored detailed warmup"
+	case f.Sharded:
 		mode = "sharded, functional fast-forward warmup"
 	}
 	section(w, fmt.Sprintf("SimPoint whole-program IPC estimates (%s)", mode))
@@ -325,7 +334,10 @@ func (f *SimPointSweep) Write(w io.Writer) {
 		t.row(name, fmt.Sprintf("%d", f.Points[i]), fmt.Sprintf("%.3f", f.WeightedIPC[i]), full)
 	}
 	t.write(w)
-	if f.Sharded {
+	switch {
+	case f.Snapshot:
+		fmt.Fprintln(w, "note: each interval restored from a warmup snapshot; estimates are bit-equal to the serial detailed pass")
+	case f.Sharded:
 		fmt.Fprintln(w, "note: functional warmup leaves caches and predictors cold at each interval start; estimates carry cold-start bias")
 	}
 }

@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"sccsim/internal/pipeline"
+	"sccsim/internal/scc"
+	"sccsim/internal/workloads"
+)
+
+// TestSnapshotSimPointMatchesSerial pins the headline contract of the
+// snapshot warmup path: a sharded sweep whose shards restore from
+// warmup snapshots is byte-identical to the serial detailed estimator —
+// warmup amortization is a pure wall-clock optimization.
+func TestSnapshotSimPointMatchesSerial(t *testing.T) {
+	w, ok := workloads.ByName("xalancbmk")
+	if !ok {
+		t.Fatal("workload missing")
+	}
+	cfg := pipeline.IcelakeSCC(scc.LevelFull)
+	const interval, k = 20_000, 3
+	opts := Options{MaxUops: 100_000, Parallel: 4}
+
+	serial, err := SimPointEstimate(cfg, w, interval, k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, dir := range []string{"", t.TempDir()} {
+		o := opts
+		o.SnapshotDir = dir
+		snap, err := SimPointEstimateSnapshot(cfg, w, interval, k, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.WeightedIPC != serial.WeightedIPC || snap.FullIPC != serial.FullIPC {
+			t.Fatalf("dir=%q: snapshot estimate (%v, %v) != serial (%v, %v)",
+				dir, snap.WeightedIPC, snap.FullIPC, serial.WeightedIPC, serial.FullIPC)
+		}
+		if !reflect.DeepEqual(snap.IntervalCycles, serial.IntervalCycles) ||
+			!reflect.DeepEqual(snap.IntervalUops, serial.IntervalUops) {
+			t.Fatalf("dir=%q: interval samples diverged", dir)
+		}
+		if dir != "" {
+			// Second pass: every warmup boundary restores from the store.
+			warm, err := SimPointEstimateSnapshot(cfg, w, interval, k, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(warm, snap) {
+				t.Fatal("store-hit pass diverged from cold pass")
+			}
+		}
+	}
+}
+
+// TestSnapshotStoreSelfHealingFallsBackToColdWarmup corrupts every
+// persisted snapshot slot between two sweeps: the second sweep must
+// detect the torn slots, delete them, fall back to a cold detailed
+// warmup, rewrite valid slots — and still produce byte-identical
+// results. The store is an accelerator, never a correctness dependency.
+func TestSnapshotStoreSelfHealingFallsBackToColdWarmup(t *testing.T) {
+	w, _ := workloads.ByName("mcf")
+	cfg := pipeline.IcelakeSCC(scc.LevelFull)
+	const interval, k = 15_000, 3
+	dir := t.TempDir()
+	opts := Options{MaxUops: 60_000, Parallel: 2, SnapshotDir: dir}
+
+	first, err := SimPointEstimateSnapshot(cfg, w, interval, k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots, err := filepath.Glob(filepath.Join(dir, "*.snap"))
+	if err != nil || len(slots) == 0 {
+		t.Fatalf("no snapshot slots persisted (err=%v)", err)
+	}
+	for _, p := range slots {
+		if err := os.Truncate(p, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	second, err := SimPointEstimateSnapshot(cfg, w, interval, k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(second, first) {
+		t.Fatal("sweep over corrupted store diverged from the clean sweep")
+	}
+	for _, p := range slots {
+		info, err := os.Stat(p)
+		if err != nil {
+			continue // deleted and not re-needed: fine
+		}
+		if info.Size() <= 10 {
+			t.Fatalf("corrupt slot %s survived without being healed", p)
+		}
+	}
+}
+
+// TestGroupByWarmupHash pins the grouping contract: configs that differ
+// only in work budget share a warmup group; any other knob splits them.
+func TestGroupByWarmupHash(t *testing.T) {
+	full := pipeline.IcelakeSCC(scc.LevelFull)
+	a, b := full, full
+	a.MaxUops = 1_000
+	b.MaxUops = 2_000
+	base := pipeline.Icelake()
+	vp := full
+	vp.ValuePredictor = "lastvalue"
+
+	hashes, groups := GroupByWarmupHash("mcf", []pipeline.Config{a, b, base, vp})
+	if len(groups) != 3 {
+		t.Fatalf("got %d groups (%v), want 3", len(groups), groups)
+	}
+	if !reflect.DeepEqual(groups[0], []int{0, 1}) {
+		t.Fatalf("budget-only variants split: %v", groups[0])
+	}
+	if hashes[0] == hashes[1] || hashes[1] == hashes[2] || hashes[0] == hashes[2] {
+		t.Fatal("distinct warmup configs share a hash")
+	}
+	if WarmupHash("mcf", a) != hashes[0] || WarmupHash("lbm", a) == hashes[0] {
+		t.Fatal("WarmupHash must key on the workload too")
+	}
+}

@@ -276,7 +276,7 @@ func (m *Machine) Run() (*Stats, error) {
 // fresh machine; returns the number of micro-ops actually skipped.
 func (m *Machine) FastForward(n uint64) (uint64, error) {
 	if m.cycle != 0 || m.Stats.CommittedUops != 0 {
-		return 0, fmt.Errorf("pipeline: FastForward on a machine that already ran")
+		return 0, fmt.Errorf("%w: FastForward needs a fresh machine", ErrMachineStarted)
 	}
 	skipped := m.Oracle.Run(n)
 	for m.Oracle.Seq() != 0 && !m.Oracle.Halted() {

@@ -1,0 +1,175 @@
+package snap
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Store is the content-addressed on-disk snapshot store that sits
+// beside the harness result cache. Slots are keyed by
+// (workload, warmup-hash, interval boundary) — the caller builds the
+// key with Key — and hold one Writer-framed snapshot each. The store
+// follows the result cache's durability contract: writes are atomic
+// (temp file + fsync + rename), a slot that fails framing verification
+// on load is deleted so one torn write cannot poison later sweeps, and
+// every failure degrades to a miss — the store is an accelerator,
+// never a correctness dependency (the caller re-runs detailed warmup
+// on any miss).
+type Store struct {
+	dir      string
+	maxBytes int64 // 0 = unbounded
+
+	// mu serializes eviction scans; loads and saves of distinct keys are
+	// otherwise free to race (atomic renames keep slots whole).
+	mu sync.Mutex
+}
+
+// ext is the slot filename extension; eviction only ever touches these.
+const ext = ".snap"
+
+// NewStore opens (creating if needed) a snapshot store in dir, capped
+// at maxBytes of slot data (0 = unbounded). A nil store is returned
+// when dir is empty, and every method on a nil store is a safe no-op
+// miss — callers hold snapshots in memory for the current sweep only.
+func NewStore(dir string, maxBytes int64) *Store {
+	if dir == "" {
+		return nil
+	}
+	return &Store{dir: dir, maxBytes: maxBytes}
+}
+
+// Key builds the canonical slot key for a workload's warmup state at an
+// interval boundary. The warmup hash sub-addresses the configuration
+// (every knob except the work budget), so sweep configs that share it
+// resolve to the same slots. Returns "" when the workload name cannot
+// be a safe file stem (mirrors the result cache's guard).
+func Key(workload, warmupHash string, boundary int) string {
+	if strings.ContainsAny(workload, "/\\") || len(warmupHash) < 12 {
+		return ""
+	}
+	return fmt.Sprintf("%s-%s-b%d", workload, warmupHash[:12], boundary)
+}
+
+func (s *Store) path(key string) string {
+	if s == nil || key == "" || strings.ContainsAny(key, "/\\") {
+		return ""
+	}
+	return filepath.Join(s.dir, key+ext)
+}
+
+// Load returns the verified snapshot stored under key, or nil on any
+// miss. A slot that exists but fails framing verification (truncated
+// write, bit rot, format-version skew) is deleted — self-healing, so
+// the next warmup pass rewrites it. A hit refreshes the slot's mtime,
+// which is the LRU clock eviction orders by.
+func (s *Store) Load(key string) []byte {
+	path := s.path(key)
+	if path == "" {
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	if err := Verify(data); err != nil {
+		os.Remove(path)
+		return nil
+	}
+	now := time.Now()
+	os.Chtimes(path, now, now)
+	return data
+}
+
+// Save stores data under key atomically and then enforces the size
+// cap, evicting least-recently-used slots. It reports whether the slot
+// was written and how many slots eviction removed; failures are
+// swallowed (written=false) like the result cache's.
+func (s *Store) Save(key string, data []byte) (written bool, evicted int) {
+	path := s.path(key)
+	if path == "" {
+		return false, 0
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return false, 0
+	}
+	tmp, err := os.CreateTemp(s.dir, ".snap-*")
+	if err != nil {
+		return false, 0
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return false, 0
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return false, 0
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return false, 0
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return false, 0
+	}
+	return true, s.evict(path)
+}
+
+// evict removes least-recently-used slots until the store fits under
+// maxBytes again. The just-written slot is exempt: a snapshot must
+// survive at least until its own sweep reads it back, even when it
+// alone exceeds the cap.
+func (s *Store) evict(justWrote string) int {
+	if s.maxBytes <= 0 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	type slot struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var slots []slot
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ext) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		total += info.Size()
+		slots = append(slots, slot{path: filepath.Join(s.dir, e.Name()), size: info.Size(), mtime: info.ModTime()})
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i].mtime.Before(slots[j].mtime) })
+	n := 0
+	for _, sl := range slots {
+		if total <= s.maxBytes {
+			break
+		}
+		if sl.path == justWrote {
+			continue
+		}
+		if err := os.Remove(sl.path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			continue
+		}
+		total -= sl.size
+		n++
+	}
+	return n
+}

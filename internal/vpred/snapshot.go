@@ -1,0 +1,111 @@
+package vpred
+
+import "sccsim/internal/snap"
+
+// EncodeSnapshot serializes a predictor's full table state. The
+// predictor kind is written first so a restore against a machine
+// configured with a different predictor fails loudly. Tables are flat
+// arrays, so encoding is a straight in-order walk — no sorting needed.
+func EncodeSnapshot(w *snap.Writer, p Predictor) {
+	w.String(p.Name())
+	switch v := p.(type) {
+	case *LastValue:
+		w.U32(uint32(len(v.entries)))
+		for i := range v.entries {
+			e := &v.entries[i]
+			w.U64(e.key)
+			w.I64(e.last)
+			w.I8(e.conf)
+		}
+	case *EVES:
+		w.U32(uint32(len(v.stride)))
+		for i := range v.stride {
+			e := &v.stride[i]
+			w.U64(e.key)
+			w.I64(e.last)
+			w.I64(e.stride)
+			w.I8(e.conf)
+			w.U8(e.seen)
+		}
+		w.U32(uint32(len(v.ctx)))
+		for i := range v.ctx {
+			e := &v.ctx[i]
+			w.U16(e.tag)
+			w.I64(e.value)
+			w.I8(e.conf)
+		}
+		w.U64s(v.hist)
+		w.U64(v.rng)
+	case *H3VP:
+		w.U32(uint32(len(v.entries)))
+		for i := range v.entries {
+			e := &v.entries[i]
+			w.U64(e.key)
+			w.I64(e.vals[0])
+			w.I64(e.vals[1])
+			w.I64(e.vals[2])
+			w.I8(e.pos)
+			w.I8(e.filled)
+			w.I8(e.perConf[0])
+			w.I8(e.perConf[1])
+			w.I8(e.perConf[2])
+		}
+	default:
+		panic("vpred: unencodable predictor " + p.Name())
+	}
+}
+
+// RestoreSnapshot fills a freshly built predictor of the same kind and
+// geometry from the snapshot. A kind or table-size mismatch poisons the
+// reader.
+func RestoreSnapshot(r *snap.Reader, p Predictor) {
+	if kind := r.String(); kind != p.Name() {
+		r.Errorf("vpred: snapshot is for predictor %q, machine uses %q", kind, p.Name())
+		return
+	}
+	switch v := p.(type) {
+	case *LastValue:
+		r.Len(len(v.entries))
+		for i := range v.entries {
+			e := &v.entries[i]
+			e.key = r.U64()
+			e.last = r.I64()
+			e.conf = r.I8()
+		}
+	case *EVES:
+		r.Len(len(v.stride))
+		for i := range v.stride {
+			e := &v.stride[i]
+			e.key = r.U64()
+			e.last = r.I64()
+			e.stride = r.I64()
+			e.conf = r.I8()
+			e.seen = r.U8()
+		}
+		r.Len(len(v.ctx))
+		for i := range v.ctx {
+			e := &v.ctx[i]
+			e.tag = r.U16()
+			e.value = r.I64()
+			e.conf = r.I8()
+		}
+		r.U64sInto(v.hist)
+		v.rng = r.U64()
+	case *H3VP:
+		r.Len(len(v.entries))
+		for i := range v.entries {
+			e := &v.entries[i]
+			e.key = r.U64()
+			e.vals[0] = r.I64()
+			e.vals[1] = r.I64()
+			e.vals[2] = r.I64()
+			e.pos = r.I8()
+			e.filled = r.I8()
+			e.perConf[0] = r.I8()
+			e.perConf[1] = r.I8()
+			e.perConf[2] = r.I8()
+		}
+	default:
+		r.Errorf("vpred: undecodable predictor %q", p.Name())
+	}
+}
