@@ -57,6 +57,36 @@ func TestSnapshotSimPointMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestSnapshotStoreReusedAcrossIntervalLengths shares one snapshot
+// store between sweeps that use different interval lengths — the shape
+// two -max-uops runs against the same -snapshot-dir produce, since
+// SimPointSweepRun derives the interval from the budget. The warmup
+// hash is identical across them (it zeroes the budget), so only the
+// interval length in the slot key keeps boundary b of one sweep from
+// restoring the other's state; each sweep must stay byte-identical to
+// its own serial estimate.
+func TestSnapshotStoreReusedAcrossIntervalLengths(t *testing.T) {
+	w, _ := workloads.ByName("mcf")
+	cfg := pipeline.IcelakeSCC(scc.LevelFull)
+	const k = 3
+	dir := t.TempDir()
+	for _, interval := range []uint64{10_000, 15_000} {
+		opts := Options{MaxUops: 60_000, Parallel: 2, SnapshotDir: dir}
+		serial, err := SimPointEstimate(cfg, w, interval, k, Options{MaxUops: opts.MaxUops, Parallel: opts.Parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := SimPointEstimateSnapshot(cfg, w, interval, k, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(snap, serial) {
+			t.Fatalf("interval=%d: snapshot sweep over shared store diverged from serial (snapshot %+v, serial %+v)",
+				interval, snap, serial)
+		}
+	}
+}
+
 // TestSnapshotStoreSelfHealingFallsBackToColdWarmup corrupts every
 // persisted snapshot slot between two sweeps: the second sweep must
 // detect the torn slots, delete them, fall back to a cold detailed

@@ -77,7 +77,13 @@ func warmupSnapshots(ctx context.Context, cfg pipeline.Config, w workloads.Workl
 	snaps := make(map[int][]byte, len(needed))
 	var missing []int
 	for _, b := range needed {
-		key := snap.Key(w.Name, warmupHash, b)
+		if store == nil {
+			// No store configured: nothing to probe, and the hit/miss
+			// series must only count real store probes.
+			missing = append(missing, b)
+			continue
+		}
+		key := snap.Key(w.Name, warmupHash, intervalUops, b)
 		_, span := tracing.Start(ctx, "snapshot.load",
 			tracing.String("key", key), tracing.Int("boundary", int64(b)))
 		data := store.Load(key)
@@ -101,14 +107,22 @@ func warmupSnapshots(ctx context.Context, cfg pipeline.Config, w workloads.Workl
 		missingSet[b] = true
 	}
 
-	// Resume the walk from the deepest hit below the first miss, if any.
+	// Resume the walk from the deepest hit below the first miss, if any:
+	// scan eligible boundaries deepest-first and stop at the first
+	// snapshot that restores, so at most one machine is rebuilt.
 	start := 0
 	var m *pipeline.Machine
+	var eligible []int
 	for _, b := range needed {
-		if data := snaps[b]; data != nil && b < missing[0] && b > start {
-			if rm, err := pipeline.NewMachineFromSnapshot(cfg, w.Program(), data); err == nil {
-				start, m = b, rm
-			}
+		if snaps[b] != nil && b < missing[0] {
+			eligible = append(eligible, b)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(eligible)))
+	for _, b := range eligible {
+		if rm, err := pipeline.NewMachineFromSnapshot(cfg, w.Program(), snaps[b]); err == nil {
+			start, m = b, rm
+			break
 		}
 	}
 	if m == nil {
@@ -134,7 +148,7 @@ func warmupSnapshots(ctx context.Context, cfg pipeline.Config, w workloads.Workl
 			return nil, fmt.Errorf("harness: %s snapshot at boundary %d: %w", w.Name, i, err)
 		}
 		snaps[i] = data
-		key := snap.Key(w.Name, warmupHash, i)
+		key := snap.Key(w.Name, warmupHash, intervalUops, i)
 		_, span := tracing.Start(ctx, "snapshot.save",
 			tracing.String("key", key), tracing.Int("bytes", int64(len(data))))
 		written, evicted := store.Save(key, data)

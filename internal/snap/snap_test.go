@@ -132,7 +132,7 @@ func TestVerifyRejectsCorruption(t *testing.T) {
 func TestStoreSaveLoadAndSelfHealing(t *testing.T) {
 	dir := t.TempDir()
 	s := NewStore(dir, 0)
-	key := Key("mcf", "0123456789abcdef", 3)
+	key := Key("mcf", "0123456789abcdef", 10_000, 3)
 	if key == "" {
 		t.Fatal("key rejected")
 	}
@@ -176,21 +176,21 @@ func TestStoreEvictsLRUPastCap(t *testing.T) {
 	s := NewStore(dir, int64(2*len(data)+10))
 	hash := "0123456789abcdef"
 	for i := 1; i <= 2; i++ {
-		if written, evicted := s.Save(Key("w", hash, i), data); !written || evicted != 0 {
+		if written, evicted := s.Save(Key("w", hash, 10_000, i), data); !written || evicted != 0 {
 			t.Fatalf("slot %d: written=%v evicted=%d", i, written, evicted)
 		}
 	}
 	// Age slot 1 so it is the LRU victim regardless of filesystem mtime
 	// granularity, then exceed the cap.
 	old := time.Now().Add(-time.Hour)
-	os.Chtimes(filepath.Join(dir, Key("w", hash, 1)+".snap"), old, old)
-	if written, evicted := s.Save(Key("w", hash, 3), data); !written || evicted != 1 {
+	os.Chtimes(filepath.Join(dir, Key("w", hash, 10_000, 1)+".snap"), old, old)
+	if written, evicted := s.Save(Key("w", hash, 10_000, 3), data); !written || evicted != 1 {
 		t.Fatalf("third save: written=%v evicted=%d, want eviction of 1", written, evicted)
 	}
-	if s.Load(Key("w", hash, 1)) != nil {
+	if s.Load(Key("w", hash, 10_000, 1)) != nil {
 		t.Fatal("LRU slot survived eviction")
 	}
-	if s.Load(Key("w", hash, 3)) == nil {
+	if s.Load(Key("w", hash, 10_000, 3)) == nil {
 		t.Fatal("just-written slot was evicted")
 	}
 }
@@ -206,14 +206,26 @@ func TestStoreNilAndBadKeysAreSafeMisses(t *testing.T) {
 	if written, _ := s.Save("k", []byte{1}); written {
 		t.Fatal("nil store save reported success")
 	}
-	if Key("a/b", "0123456789abcdef", 1) != "" {
+	if Key("a/b", "0123456789abcdef", 10_000, 1) != "" {
 		t.Fatal("separator workload accepted")
 	}
-	if Key("w", "short", 1) != "" {
+	if Key("w", "short", 10_000, 1) != "" {
 		t.Fatal("short hash accepted")
 	}
 	real := NewStore(t.TempDir(), 0)
 	if written, _ := real.Save("../escape", []byte{1}); written {
 		t.Fatal("path-escaping key accepted")
+	}
+}
+
+func TestKeySeparatesIntervalLengths(t *testing.T) {
+	hash := "0123456789abcdef"
+	a := Key("w", hash, 10_000, 2)
+	b := Key("w", hash, 20_000, 2)
+	if a == "" || b == "" {
+		t.Fatal("key rejected")
+	}
+	if a == b {
+		t.Fatal("different interval lengths share a slot key")
 	}
 }

@@ -14,8 +14,9 @@ import (
 
 // Store is the content-addressed on-disk snapshot store that sits
 // beside the harness result cache. Slots are keyed by
-// (workload, warmup-hash, interval boundary) — the caller builds the
-// key with Key — and hold one Writer-framed snapshot each. The store
+// (workload, warmup-hash, interval length, interval boundary) — the
+// caller builds the key with Key — and hold one Writer-framed snapshot
+// each. The store
 // follows the result cache's durability contract: writes are atomic
 // (temp file + fsync + rename), a slot that fails framing verification
 // on load is deleted so one torn write cannot poison later sweeps, and
@@ -48,13 +49,18 @@ func NewStore(dir string, maxBytes int64) *Store {
 // Key builds the canonical slot key for a workload's warmup state at an
 // interval boundary. The warmup hash sub-addresses the configuration
 // (every knob except the work budget), so sweep configs that share it
-// resolve to the same slots. Returns "" when the workload name cannot
-// be a safe file stem (mirrors the result cache's guard).
-func Key(workload, warmupHash string, boundary int) string {
+// resolve to the same slots. The interval length is part of the key
+// because the machine state at boundary b is the state after
+// b*intervalUops committed uops with a stop at every multiple of
+// intervalUops — runs sweeping different interval lengths (e.g.
+// budget-derived ones) must never share slots. Returns "" when the
+// workload name cannot be a safe file stem (mirrors the result cache's
+// guard).
+func Key(workload, warmupHash string, intervalUops uint64, boundary int) string {
 	if strings.ContainsAny(workload, "/\\") || len(warmupHash) < 12 {
 		return ""
 	}
-	return fmt.Sprintf("%s-%s-b%d", workload, warmupHash[:12], boundary)
+	return fmt.Sprintf("%s-%s-i%d-b%d", workload, warmupHash[:12], intervalUops, boundary)
 }
 
 func (s *Store) path(key string) string {
